@@ -1,0 +1,74 @@
+// Command floodsim reproduces the paper's evaluation from the command
+// line: every table and figure is a named experiment that prints the
+// corresponding rows.
+//
+//	floodsim -list
+//	floodsim -exp fig10 -scale 0.25
+//	floodsim -exp all -scale 0.5 -seed 7
+//
+// Scale 1 is the paper's 160-host 100/400 Gbps fabric (slow; see
+// DESIGN.md for the slow-motion scale model that keeps smaller runs
+// faithful in shape).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"floodgate"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale = flag.Float64("scale", 0.25, "fabric scale in (0,1]; 1 = paper scale")
+		seed  = flag.Uint64("seed", 1, "workload/simulation seed")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("available experiments:")
+		for _, e := range floodgate.Experiments() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		if *expID == "" && !*list {
+			fmt.Println("\nusage: floodsim -exp <id|all> [-scale S] [-seed N]")
+			os.Exit(2)
+		}
+		return
+	}
+
+	o := floodgate.Options{Scale: *scale, Seed: *seed}
+	run := func(id string) error {
+		start := time.Now()
+		tables, err := floodgate.RunExperiment(id, o)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("[%s done in %v at scale %.2f]\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
+		return nil
+	}
+
+	if *expID == "all" {
+		for _, e := range floodgate.Experiments() {
+			if e.ID == "fig8" {
+				continue // the per-CC variants cover it without tripling runtime
+			}
+			if err := run(e.ID); err != nil {
+				fmt.Fprintln(os.Stderr, "floodsim:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*expID); err != nil {
+		fmt.Fprintln(os.Stderr, "floodsim:", err)
+		os.Exit(1)
+	}
+}

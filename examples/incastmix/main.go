@@ -1,0 +1,101 @@
+// Incastmix: the paper's §6.1 scenario assembled from the public API —
+// Poisson background traffic over a chosen workload distribution mixed
+// with periodic 30–40 MTU incast at destination load 0.5, compared
+// across DCQCN, DCQCN+ideal and DCQCN+Floodgate. Reports the
+// victim-class FCT split and per-hop buffer maxima.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"floodgate"
+)
+
+const mtu = 1500
+
+func main() {
+	var (
+		wl    = flag.String("workload", "WebServer", "Memcached|WebServer|Hadoop|WebSearch")
+		scale = flag.Float64("scale", 0.2, "fabric scale in (0,1]")
+		seed  = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	var cdf *floodgate.CDF
+	for _, c := range floodgate.Workloads {
+		if c.Name == *wl {
+			cdf = c
+		}
+	}
+	if cdf == nil {
+		log.Fatalf("unknown workload %q (have Memcached, WebServer, Hadoop, WebSearch)", *wl)
+	}
+
+	o := floodgate.Options{Scale: *scale, Seed: *seed}
+	baseBDP := 64 * floodgate.KB
+
+	build := func() *floodgate.Topology {
+		c := floodgate.DefaultLeafSpine()
+		c.HostsPerToR = 8
+		c.Spines = 2
+		c.HostRate = floodgate.BitRate(float64(c.HostRate) * *scale)
+		c.SpineRate = floodgate.BitRate(float64(c.SpineRate) * *scale)
+		c.Prop = floodgate.Duration(float64(c.Prop) / *scale)
+		return c.Build()
+	}
+
+	for _, mk := range []func() floodgate.Scheme{
+		func() floodgate.Scheme { return floodgate.DCQCN(o) },
+		func() floodgate.Scheme { return floodgate.WithIdeal(o, floodgate.DCQCN(o), baseBDP) },
+		func() floodgate.Scheme { return floodgate.WithFloodgate(o, floodgate.DCQCN(o), baseBDP) },
+	} {
+		scheme := mk()
+		tp := build()
+		dur := 4 * floodgate.Millisecond
+		r := floodgate.NewRand(*seed)
+		dst := tp.Hosts[len(tp.Hosts)-1]
+		hostRate := tp.Node(dst).Ports[0].Rate
+		dstRack := tp.Node(dst).Rack
+
+		poisson := floodgate.Poisson(floodgate.PoissonConfig{
+			CDF: cdf, Load: 0.8,
+			Hosts: tp.Hosts, HostRate: hostRate,
+			ExcludeDst: map[floodgate.NodeID]bool{dst: true},
+			Until:      dur,
+			Categorize: func(src, d floodgate.NodeID) floodgate.Category {
+				if tp.Node(d).Rack == dstRack {
+					return floodgate.CatVictimIncast
+				}
+				return floodgate.CatVictimPFC
+			},
+		}, r.Fork())
+		incast := floodgate.Incast(floodgate.IncastConfig{
+			Dst: dst, Senders: floodgate.CrossRackSenders(tp, dst),
+			Degree:  len(floodgate.CrossRackSenders(tp, dst)),
+			MinSize: 30 * mtu, MaxSize: 40 * mtu,
+			Load: 0.5, DstRate: hostRate, Until: dur,
+		}, r.Fork())
+
+		res := floodgate.Run(floodgate.RunConfig{
+			Topo: tp, Scheme: scheme,
+			Specs:    floodgate.MergeSpecs(poisson, incast),
+			Duration: dur, Seed: *seed, Opt: o,
+		})
+
+		fmt.Printf("== %s (%s, scale %.2f) ==\n", scheme.Name, cdf.Name, *scale)
+		for _, cat := range []floodgate.Category{
+			floodgate.CatIncast, floodgate.CatVictimIncast, floodgate.CatVictimPFC,
+		} {
+			avg, p99 := floodgate.FCTStats(res.Stats.FCTs(cat))
+			fmt.Printf("  %-18s n=%-6d avgFCT %-10v p99 %v\n",
+				cat, len(res.Stats.FCTs(cat)), avg, p99)
+		}
+		fmt.Printf("  buffers: ToR-Up %v  Core %v  ToR-Down %v   PFC events: %d\n\n",
+			res.Stats.MaxClassBuffer(floodgate.ClassToRUp),
+			res.Stats.MaxClassBuffer(floodgate.ClassCore),
+			res.Stats.MaxClassBuffer(floodgate.ClassToRDown),
+			res.Stats.PFCEventCount())
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a small leaf–spine fabric, fire one incast at it,
+// and compare DCQCN with and without Floodgate — the paper's headline
+// effect (last-hop buffer relief, no PFC) in ~40 lines of API use.
+package main
+
+import (
+	"fmt"
+
+	"floodgate"
+)
+
+func main() {
+	o := floodgate.Options{Scale: 0.25, Seed: 42}
+
+	// A 2-tier fabric: scaled-down racks, 25/100 Gbps links.
+	build := func() *floodgate.Topology {
+		c := floodgate.DefaultLeafSpine()
+		c.ToRs = 6
+		c.HostsPerToR = 8
+		c.Spines = 2
+		c.HostRate = 25 * floodgate.Gbps
+		c.SpineRate = 100 * floodgate.Gbps
+		c.Prop = 2400 * floodgate.Nanosecond
+		return c.Build()
+	}
+
+	for _, withFG := range []bool{false, true} {
+		tp := build()
+		scheme := floodgate.DCQCN(o)
+		if withFG {
+			scheme = floodgate.WithFloodgate(o, scheme, 64*floodgate.KB)
+		}
+
+		// Incast: every cross-rack host sends one 35-MTU flow to host 0
+		// of the last rack, all at t=0.
+		dst := tp.Hosts[len(tp.Hosts)-1]
+		var specs []floodgate.FlowSpec
+		for _, src := range floodgate.CrossRackSenders(tp, dst) {
+			specs = append(specs, floodgate.FlowSpec{
+				Src: src, Dst: dst, Size: 35 * 1500, Cat: floodgate.CatIncast,
+			})
+		}
+
+		res := floodgate.Run(floodgate.RunConfig{
+			Topo:     tp,
+			Scheme:   scheme,
+			Specs:    specs,
+			Duration: 2 * floodgate.Millisecond,
+			Drain:    50 * floodgate.Millisecond,
+			Seed:     42,
+			Opt:      o,
+		})
+
+		avg, p99 := floodgate.FCTStats(res.Stats.FCTs(floodgate.CatIncast))
+		fmt.Printf("%-18s  flows %d/%d  avgFCT %-10v p99 %-10v\n",
+			scheme.Name, res.Completed, res.Total, avg, p99)
+		fmt.Printf("  max buffer: ToR-Up %-10v Core %-10v ToR-Down %-10v (VOQs used: %d)\n",
+			res.Stats.MaxClassBuffer(floodgate.ClassToRUp),
+			res.Stats.MaxClassBuffer(floodgate.ClassCore),
+			res.Stats.MaxClassBuffer(floodgate.ClassToRDown),
+			res.Stats.MaxVOQInUse)
+	}
+	fmt.Println("\nFloodgate parks the burst at the source ToRs (ToR-Up grows, Core/ToR-Down shrink).")
+}

@@ -1,0 +1,280 @@
+// Package floodgate is a from-scratch reproduction of "Floodgate:
+// Taming Incast in Datacenter Networks" (Liu et al., CoNEXT 2021): a
+// switch-based per-hop, per-destination flow control evaluated on a
+// packet-level event-driven datacenter simulator, together with the
+// congestion-control protocols it is carried on (DCQCN, DCTCP, TIMELY,
+// HPCC, Swift) and the flow-control baselines the paper compares
+// against (BFC, NDP, PFC-with-tag).
+//
+// Three levels of API:
+//
+//   - Experiments: RunExperiment replays any table or figure of the
+//     paper's evaluation and returns the same rows/series.
+//
+//   - Scenarios: Run executes one simulation assembled from a
+//     topology, a Scheme (congestion control × flow control) and a
+//     workload; schemes and workloads are composable.
+//
+//   - Devices: NewNetwork exposes the raw simulator (switches, hosts,
+//     flows) for custom studies.
+//
+// Everything is deterministic given (configuration, seed).
+package floodgate
+
+import (
+	"floodgate/internal/core"
+	"floodgate/internal/device"
+	"floodgate/internal/exp"
+	"floodgate/internal/packet"
+	"floodgate/internal/sim"
+	"floodgate/internal/stats"
+	"floodgate/internal/topo"
+	"floodgate/internal/trace"
+	"floodgate/internal/units"
+	"floodgate/internal/workload"
+)
+
+// NodeID identifies a host or switch; FlowID one transfer.
+type (
+	NodeID = packet.NodeID
+	FlowID = packet.FlowID
+)
+
+// ---- Units ----
+
+// Core quantities (picosecond time, bits per second, bytes).
+type (
+	Time     = units.Time
+	Duration = units.Duration
+	BitRate  = units.BitRate
+	ByteSize = units.ByteSize
+)
+
+// Common constants re-exported for configuration literals.
+const (
+	Nanosecond  = units.Nanosecond
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+	Second      = units.Second
+	Kbps        = units.Kbps
+	Mbps        = units.Mbps
+	Gbps        = units.Gbps
+	KB          = units.KB
+	MB          = units.MB
+)
+
+// ---- Experiments (the paper's evaluation) ----
+
+// Options scales experiments between smoke test and paper scale; see
+// DESIGN.md §"slow-motion scaling".
+type Options = exp.Options
+
+// Table is one rendered experiment result.
+type Table = exp.Table
+
+// Experiment is a registered paper figure/table reproduction.
+type Experiment = exp.Experiment
+
+// Experiments lists every reproducible figure and table in paper order.
+func Experiments() []Experiment { return exp.List() }
+
+// RunExperiment reproduces one figure/table by id (e.g. "fig10",
+// "table2"); see Experiments for the catalogue.
+func RunExperiment(id string, o Options) ([]Table, error) {
+	e, err := exp.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(o), nil
+}
+
+// ---- Scenarios ----
+
+// Scheme is a transport/flow-control combination.
+type Scheme = exp.Scheme
+
+// Scheme constructors (the paper's §6 comparisons plus the §8/§2.3
+// extensions DCTCP and Swift).
+var (
+	DCQCN  = exp.DCQCN
+	DCTCP  = exp.DCTCP
+	TIMELY = exp.TIMELY
+	HPCC   = exp.HPCC
+	SWIFT  = exp.SWIFT
+	NDP    = exp.NDP
+	BFC    = exp.BFC
+)
+
+// WithFloodgate layers the practical Floodgate design over a scheme.
+func WithFloodgate(o Options, s Scheme, baseBDP ByteSize) Scheme {
+	return exp.WithFloodgate(o, s, baseBDP)
+}
+
+// WithIdeal layers the strawman (ideal) Floodgate design over a scheme.
+func WithIdeal(o Options, s Scheme, baseBDP ByteSize) Scheme {
+	return exp.WithIdeal(o, s, baseBDP)
+}
+
+// WithPFCTag layers the reactive PFC-with-tag derivative over a scheme.
+func WithPFCTag(s Scheme, oneHopBDP ByteSize) Scheme { return exp.WithPFCTag(s, oneHopBDP) }
+
+// FloodgateConfig is the switch-module configuration (§4 parameters).
+type FloodgateConfig = core.Config
+
+// Floodgate design modes.
+const (
+	Practical = core.Practical
+	Ideal     = core.Ideal
+)
+
+// DefaultFloodgateConfig returns the paper's §6 binding.
+func DefaultFloodgateConfig(baseBDP ByteSize) FloodgateConfig { return core.DefaultConfig(baseBDP) }
+
+// IdealFloodgateConfig returns the strawman binding.
+func IdealFloodgateConfig(baseBDP ByteSize) FloodgateConfig { return core.IdealConfig(baseBDP) }
+
+// WithFloodgateConfig layers an explicit Floodgate configuration.
+func WithFloodgateConfig(s Scheme, cfg FloodgateConfig, suffix string) Scheme {
+	return exp.WithFloodgateCfg(s, cfg, suffix)
+}
+
+// RunConfig assembles one simulation run; RunResult carries its
+// statistics collector.
+type (
+	RunConfig = exp.RunConfig
+	RunResult = exp.RunResult
+)
+
+// Run executes one simulation run to completion (workload window plus
+// drain) and returns the collected statistics.
+func Run(rc RunConfig) *RunResult { return exp.Run(rc) }
+
+// ---- Topologies ----
+
+// Topology is an immutable fabric with routing; Port classes follow
+// the paper's reporting buckets (ToR-Up, Core, ToR-Down, ...).
+type (
+	Topology        = topo.Topology
+	LeafSpineConfig = topo.LeafSpineConfig
+	FatTreeConfig   = topo.FatTreeConfig
+	TestbedConfig   = topo.TestbedConfig
+	PortClass       = topo.PortClass
+)
+
+// Paper topologies.
+var (
+	DefaultLeafSpine = topo.DefaultLeafSpine
+	DefaultFatTree   = topo.DefaultFatTree
+	DefaultTestbed   = topo.DefaultTestbed
+)
+
+// Port classes for per-hop statistics.
+const (
+	ClassToRUp   = topo.ClassToRUp
+	ClassToRDown = topo.ClassToRDown
+	ClassCore    = topo.ClassCore
+	ClassAggUp   = topo.ClassAggUp
+	ClassAggDown = topo.ClassAggDown
+)
+
+// ---- Workloads ----
+
+// CDF is a flow-size distribution; FlowSpec one pre-generated arrival.
+type (
+	CDF           = workload.CDF
+	FlowSpec      = workload.FlowSpec
+	PoissonConfig = workload.PoissonConfig
+	IncastConfig  = workload.IncastConfig
+)
+
+// The paper's four Fig 7 workloads.
+var (
+	Memcached = workload.Memcached
+	WebServer = workload.WebServer
+	Hadoop    = workload.Hadoop
+	WebSearch = workload.WebSearch
+	Workloads = workload.Workloads
+)
+
+// Workload generators.
+var (
+	Poisson          = workload.Poisson
+	Incast           = workload.Incast
+	SuccessiveIncast = workload.SuccessiveIncast
+	MergeSpecs       = workload.Merge
+	CrossRackSenders = workload.CrossRackSenders
+)
+
+// NewRand returns the deterministic random source used throughout.
+func NewRand(seed uint64) *sim.Rand { return sim.NewRand(seed) }
+
+// ---- Raw devices ----
+
+// NetworkConfig configures the raw simulator; Network is the wired
+// fabric; Flow one transfer.
+type (
+	NetworkConfig = device.Config
+	Network       = device.Network
+	Flow          = device.Flow
+)
+
+// NewNetwork wires a network from the config (Topo and Engine are
+// required; see device.Config).
+func NewNetwork(cfg NetworkConfig) *Network { return device.New(cfg) }
+
+// NewEngine returns a fresh event engine.
+func NewEngine() *sim.Engine { return sim.NewEngine() }
+
+// NewFloodgate returns the per-switch Floodgate module factory for use
+// in a NetworkConfig.
+func NewFloodgate(cfg FloodgateConfig) device.FCFactory { return core.New(cfg) }
+
+// ---- Statistics ----
+
+// Collector accumulates a run's measurements; Category tags flows for
+// the victim analysis.
+type (
+	Collector = stats.Collector
+	Category  = stats.Category
+	FCTSample = stats.FCTSample
+)
+
+// Flow categories.
+const (
+	CatIncast       = stats.CatIncast
+	CatVictimIncast = stats.CatVictimIncast
+	CatVictimPFC    = stats.CatVictimPFC
+)
+
+// NewCollector returns a collector with the given time-series bin.
+func NewCollector(bin Duration) *Collector { return stats.NewCollector(bin) }
+
+// FCTStats reduces samples to (average, p99).
+var FCTStats = stats.FCTStats
+
+// ---- Tracing ----
+
+// TraceBuffer is the simulator's flight recorder; TraceFilter selects
+// what it retains; TraceEvent is one lifecycle point.
+type (
+	TraceBuffer = trace.Buffer
+	TraceFilter = trace.Filter
+	TraceEvent  = trace.Event
+	TraceOp     = trace.Op
+)
+
+// Trace lifecycle points.
+const (
+	TraceSend    = trace.OpSend
+	TraceEnqueue = trace.OpEnqueue
+	TracePark    = trace.OpPark
+	TraceTx      = trace.OpTx
+	TraceDeliver = trace.OpDeliver
+	TraceDrop    = trace.OpDrop
+	TraceCredit  = trace.OpCredit
+)
+
+// NewTraceBuffer returns a ring retaining the newest `capacity`
+// matching events; attach it via NetworkConfig.Trace or RunConfig via
+// the raw API.
+func NewTraceBuffer(capacity int, f TraceFilter) *TraceBuffer { return trace.NewBuffer(capacity, f) }

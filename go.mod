@@ -1,0 +1,3 @@
+module floodgate
+
+go 1.22

@@ -1,0 +1,101 @@
+package dctcp
+
+import (
+	"testing"
+
+	"floodgate/internal/cc"
+	"floodgate/internal/packet"
+	"floodgate/internal/units"
+)
+
+func env() cc.Env {
+	rtt := units.Duration(51) * units.Microsecond / 10
+	rate := 100 * units.Gbps
+	return cc.Env{LinkRate: rate, BaseRTT: rtt, BDP: units.BDP(rate, rtt)}
+}
+
+func ack(seq units.ByteSize, marked bool) *packet.Packet {
+	p := packet.NewCtrl(1, packet.Ack, 1, 0, 1)
+	p.AckSeq = seq
+	p.EchoECN = marked
+	return p
+}
+
+func TestInitialWindowIsBDP(t *testing.T) {
+	c := Default()(env())
+	if c.Window() != 63750 {
+		t.Fatalf("initial window = %v", c.Window())
+	}
+	if c.Rate() != 100*units.Gbps {
+		t.Fatalf("rate = %v", c.Rate())
+	}
+}
+
+func TestUnmarkedWindowGrows(t *testing.T) {
+	c := Default()(env())
+	w0 := c.Window()
+	// One full window of clean acks -> +1 MTU.
+	c.OnAck(0, ack(64*units.KB, false), 0)
+	if got := c.Window(); got != w0+packet.MTU {
+		t.Fatalf("window = %v, want %v", got, w0+packet.MTU)
+	}
+}
+
+func TestFullyMarkedWindowHalves(t *testing.T) {
+	c := Default()(env())
+	w0 := float64(c.Window())
+	// Every ack in the window marked: alpha = g after one window, so
+	// the cut is (1 - g/2); repeat until alpha saturates toward 1 and
+	// the window approaches half per window.
+	seq := units.ByteSize(0)
+	for i := 0; i < 40; i++ {
+		seq += 64 * units.KB
+		c.OnAck(0, ack(seq, true), 0)
+	}
+	if float64(c.Window()) > 0.2*w0 {
+		t.Fatalf("persistently marked window did not shrink: %v of %v", c.Window(), units.ByteSize(w0))
+	}
+	if c.Window() < packet.MTU {
+		t.Fatal("window fell below one MTU")
+	}
+}
+
+func TestPartialMarkingGentler(t *testing.T) {
+	run := func(markEvery int) units.ByteSize {
+		c := Default()(env())
+		seq := units.ByteSize(0)
+		for i := 0; i < 64; i++ {
+			seq += 2 * units.KB
+			c.OnAck(0, ack(seq, i%markEvery == 0), 0)
+		}
+		return c.Window()
+	}
+	lightly := run(8)
+	heavily := run(1)
+	if lightly <= heavily {
+		t.Fatalf("light marking (%v) should leave a larger window than heavy (%v)", lightly, heavily)
+	}
+}
+
+func TestDuplicateAcksIgnored(t *testing.T) {
+	c := Default()(env())
+	w0 := c.Window()
+	for i := 0; i < 100; i++ {
+		c.OnAck(0, ack(1000, false), 0) // no progress after the first
+	}
+	if c.Window() != w0 {
+		t.Fatalf("duplicate acks changed the window: %v", c.Window())
+	}
+}
+
+func TestWindowCapped(t *testing.T) {
+	c := Default()(env())
+	seq := units.ByteSize(0)
+	for i := 0; i < 10000; i++ {
+		seq += 64 * units.KB
+		c.OnAck(0, ack(seq, false), 0)
+	}
+	if c.Window() > 4*63750 {
+		t.Fatalf("window exceeded 4 BDP cap: %v", c.Window())
+	}
+}

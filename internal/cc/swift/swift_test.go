@@ -1,0 +1,91 @@
+package swift
+
+import (
+	"testing"
+
+	"floodgate/internal/cc"
+	"floodgate/internal/packet"
+	"floodgate/internal/units"
+)
+
+func env() cc.Env {
+	rtt := units.Duration(51) * units.Microsecond / 10
+	rate := 100 * units.Gbps
+	return cc.Env{LinkRate: rate, BaseRTT: rtt, BDP: units.BDP(rate, rtt)}
+}
+
+func ack(seq units.ByteSize) *packet.Packet {
+	p := packet.NewCtrl(1, packet.Ack, 1, 0, 1)
+	p.AckSeq = seq
+	return p
+}
+
+func TestInitialState(t *testing.T) {
+	c := Default()(env())
+	if c.Window() != 63750 {
+		t.Fatalf("initial window = %v", c.Window())
+	}
+	if c.Rate() <= 0 || c.Rate() > 100*units.Gbps {
+		t.Fatalf("rate = %v", c.Rate())
+	}
+}
+
+func TestBelowTargetGrows(t *testing.T) {
+	c := Default()(env())
+	w0 := c.Window()
+	seq := units.ByteSize(0)
+	// Acks covering more than one window at a low RTT -> +AI.
+	for i := 0; i < 50; i++ {
+		seq += 2 * units.KB
+		c.OnAck(units.Time(i)*units.Time(units.Microsecond), ack(seq), 5*units.Microsecond)
+	}
+	if c.Window() <= w0 {
+		t.Fatalf("window did not grow below target: %v", c.Window())
+	}
+}
+
+func TestAboveTargetCuts(t *testing.T) {
+	c := Default()(env())
+	w0 := c.Window()
+	c.OnAck(units.Time(10*units.Microsecond), ack(units.KB), 60*units.Microsecond)
+	if c.Window() >= w0 {
+		t.Fatalf("window did not shrink above target: %v", c.Window())
+	}
+}
+
+func TestDecreaseRateLimitedPerRTT(t *testing.T) {
+	c := Default()(env())
+	now := units.Time(10 * units.Microsecond)
+	c.OnAck(now, ack(units.KB), 60*units.Microsecond)
+	w1 := c.Window()
+	// Immediate second over-target sample within the same RTT: no
+	// further cut.
+	c.OnAck(now.Add(units.Microsecond), ack(2*units.KB), 60*units.Microsecond)
+	if c.Window() != w1 {
+		t.Fatalf("cut twice within one RTT: %v -> %v", w1, c.Window())
+	}
+	// After a base RTT, cutting resumes.
+	c.OnAck(now.Add(6*units.Microsecond), ack(3*units.KB), 60*units.Microsecond)
+	if c.Window() >= w1 {
+		t.Fatal("cut did not resume after an RTT")
+	}
+}
+
+func TestFloorsAndCaps(t *testing.T) {
+	c := Default()(env())
+	for i := 0; i < 200; i++ {
+		c.OnAck(units.Time(i)*units.Time(10*units.Microsecond), ack(units.ByteSize(i)*units.KB), units.Millisecond)
+	}
+	if c.Window() < packet.MTU {
+		t.Fatalf("window below MTU floor: %v", c.Window())
+	}
+	c2 := Default()(env())
+	seq := units.ByteSize(0)
+	for i := 0; i < 100000; i++ {
+		seq += 64 * units.KB
+		c2.OnAck(units.Time(i), ack(seq), units.Microsecond)
+	}
+	if c2.Window() > 4*63750 {
+		t.Fatalf("window above 4 BDP cap: %v", c2.Window())
+	}
+}

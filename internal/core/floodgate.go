@@ -1,0 +1,630 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"floodgate/internal/device"
+	"floodgate/internal/packet"
+	"floodgate/internal/sim"
+	"floodgate/internal/topo"
+	"floodgate/internal/trace"
+	"floodgate/internal/units"
+)
+
+// Module is one switch's Floodgate instance. It implements
+// device.FlowControl.
+type Module struct {
+	cfg Config
+	sw  *device.Switch
+
+	// Upstream role: per-destination sending windows.
+	wins map[packet.NodeID]*dstWin
+
+	// Downstream role: credit generation per (ingress port, dst).
+	down      map[chanKey]*downChan
+	pending   [][]packet.NodeID // per ingress port: dsts with pending credits (insertion order)
+	timerArm  []bool            // per ingress port: credit timer scheduled
+	facesSw   []bool            // port peer is a switch
+	facesHost []bool
+
+	// VOQ pool.
+	voqs    []*voq
+	voqOf   map[packet.NodeID]*voq
+	free    []int // free voq indices per group: [0]=down, [1]=up (or all in [0])
+	freeUp  []int
+	inUse   int
+	grouped bool
+
+	// Per-dst host pause bookkeeping (first-hop ToRs).
+	pausedHosts map[packet.NodeID]map[packet.NodeID]bool // dst -> set of paused hosts
+
+	maxWins int // peak window-table size (§7.4 memory overhead)
+}
+
+// chanKey addresses one upstream channel: the ingress port the data
+// arrived on and the destination host.
+type chanKey struct {
+	port int
+	dst  packet.NodeID
+}
+
+// downChan is the downstream switch's per-channel credit state.
+type downChan struct {
+	cumFwd  units.ByteSize // cumulative bytes forwarded (credited basis)
+	lastPSN units.ByteSize // highest upstream PSN seen (gap detection)
+	pending units.ByteSize // bytes awaiting a credit packet
+}
+
+// dstWin is the upstream per-destination window.
+type dstWin struct {
+	dst   packet.NodeID
+	init  units.ByteSize
+	avail units.ByteSize
+	// outstanding per egress port: sent cumulative and last credited
+	// cumulative from the downstream switch.
+	ports map[int]*upPort
+	// switchSYN management.
+	lastCredit units.Time
+	synTimer   sim.Handle
+}
+
+type upPort struct {
+	sent    units.ByteSize
+	lastCum units.ByteSize
+}
+
+// voq parks packets whose destination window is exhausted.
+type voq struct {
+	idx    int
+	group  int
+	q      []*packet.Packet
+	bytes  units.ByteSize
+	perDst map[packet.NodeID]units.ByteSize
+	dsts   []packet.NodeID // destinations mapped to this VOQ
+}
+
+// New returns a device.FCFactory installing Floodgate on every switch.
+func New(cfg Config) device.FCFactory {
+	return func(sw *device.Switch) device.FlowControl { return newModule(cfg, sw) }
+}
+
+func newModule(cfg Config, sw *device.Switch) *Module {
+	node := sw.Node()
+	m := &Module{
+		cfg:         cfg,
+		sw:          sw,
+		wins:        make(map[packet.NodeID]*dstWin),
+		down:        make(map[chanKey]*downChan),
+		pending:     make([][]packet.NodeID, len(node.Ports)),
+		timerArm:    make([]bool, len(node.Ports)),
+		facesSw:     make([]bool, len(node.Ports)),
+		facesHost:   make([]bool, len(node.Ports)),
+		voqOf:       make(map[packet.NodeID]*voq),
+		pausedHosts: make(map[packet.NodeID]map[packet.NodeID]bool),
+	}
+	for i := range node.Ports {
+		m.facesHost[i] = sw.PortFacesHost(i)
+		m.facesSw[i] = !m.facesHost[i]
+	}
+	// VOQ grouping applies to middle-layer switches only (3-tier aggs),
+	// which forward both upstream and windowed downstream traffic.
+	m.grouped = cfg.VOQGrouping && node.Layer == topo.LayerAgg
+	n := cfg.MaxVOQs
+	if n <= 0 {
+		n = 1
+	}
+	m.voqs = make([]*voq, n)
+	for i := range m.voqs {
+		m.voqs[i] = &voq{idx: i, perDst: make(map[packet.NodeID]units.ByteSize)}
+	}
+	if m.grouped {
+		for i := 0; i < n/2; i++ {
+			m.voqs[i].group = 0
+			m.free = append(m.free, i)
+		}
+		for i := n / 2; i < n; i++ {
+			m.voqs[i].group = 1
+			m.freeUp = append(m.freeUp, i)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			m.free = append(m.free, i)
+		}
+	}
+	return m
+}
+
+// Window returns the remaining window for a destination (tests).
+func (m *Module) Window(dst packet.NodeID) (units.ByteSize, bool) {
+	w, ok := m.wins[dst]
+	if !ok {
+		return 0, false
+	}
+	return w.avail, true
+}
+
+// VOQsInUse reports the number of allocated VOQs (tests/stats).
+func (m *Module) VOQsInUse() int { return m.inUse }
+
+// Grouped reports whether this switch splits its VOQ pool by traffic
+// direction (middle-layer deadlock avoidance, §4.2).
+func (m *Module) Grouped() bool { return m.grouped }
+
+// WindowDeficit sums init−avail over all windows. Once the network is
+// idle and credits have settled it must be zero: any positive residue
+// is leaked window, any negative residue is inflation.
+func (m *Module) WindowDeficit() units.ByteSize {
+	var d units.ByteSize
+	for _, w := range m.wins {
+		d += w.init - w.avail
+	}
+	return d
+}
+
+// ---- Upstream role: OnIngress ----
+
+// OnIngress applies per-dst window control to data packets headed for
+// a switch-facing egress port.
+func (m *Module) OnIngress(p *packet.Packet, inPort, outPort int) device.Verdict {
+	m.checkPSNGap(p, inPort)
+	if m.facesHost[outPort] {
+		// Last hop: buffering here does nothing for the network (§3.2).
+		return device.Verdict{}
+	}
+	w := m.winFor(p.Dst, outPort)
+	if v, ok := m.voqOf[p.Dst]; ok {
+		// Destination already identified as incast.
+		m.park(v, p, outPort)
+		return device.Verdict{Consumed: true}
+	}
+	if w.avail >= p.Size {
+		m.forward(w, p, outPort)
+		return device.Verdict{}
+	}
+	// Window exhausted: the destination is encountering incast.
+	v := m.allocVOQ(p.Dst)
+	m.park(v, p, outPort)
+	m.armSYN(w)
+	return device.Verdict{Consumed: true}
+}
+
+// forward consumes window and stamps the loss-recovery PSN.
+func (m *Module) forward(w *dstWin, p *packet.Packet, outPort int) {
+	w.avail -= p.Size
+	up := w.port(outPort)
+	up.sent += p.Size
+	p.PSN = up.sent
+}
+
+// winFor lazily initialises the per-destination window from the
+// routed next-hop link (§4.2).
+func (m *Module) winFor(dst packet.NodeID, outPort int) *dstWin {
+	if w, ok := m.wins[dst]; ok {
+		return w
+	}
+	port := &m.sw.Node().Ports[outPort]
+	var init units.ByteSize
+	if m.cfg.Mode == Ideal {
+		init = units.ByteSize(m.cfg.M * float64(port.BDP()))
+	} else {
+		init = port.BDP() + units.BytesOver(port.Rate, m.cfg.CreditTimer)
+	}
+	w := &dstWin{dst: dst, init: init, avail: init, ports: make(map[int]*upPort)}
+	w.lastCredit = m.now()
+	m.wins[dst] = w
+	if len(m.wins) > m.maxWins {
+		m.maxWins = len(m.wins)
+	}
+	return w
+}
+
+// MaxWindows reports the peak number of per-destination window entries
+// this switch held — the §7.4 stateful-memory figure.
+func (m *Module) MaxWindows() int { return m.maxWins }
+
+func (w *dstWin) port(i int) *upPort {
+	u, ok := w.ports[i]
+	if !ok {
+		u = &upPort{}
+		w.ports[i] = u
+	}
+	return u
+}
+
+// ---- VOQ management ----
+
+// allocVOQ finds the VOQ for a newly identified incast destination:
+// an empty one from the right group if available, else a CRC-32 hash
+// over the allocated VOQs (§4.2).
+func (m *Module) allocVOQ(dst packet.NodeID) *voq {
+	group := 0
+	if m.grouped && !m.sw.Net().Topo.SamePod(m.sw.Node().ID, dst) {
+		group = 1
+	}
+	freeList := &m.free
+	if group == 1 {
+		freeList = &m.freeUp
+	}
+	var v *voq
+	if len(*freeList) > 0 {
+		idx := (*freeList)[len(*freeList)-1]
+		*freeList = (*freeList)[:len(*freeList)-1]
+		v = m.voqs[idx]
+		m.inUse++
+		m.sw.Net().Stats.VOQInUse(m.inUse)
+	} else {
+		// Pool exhausted: share an allocated VOQ chosen by hashing the
+		// destination address.
+		v = m.hashVOQ(dst, group)
+	}
+	v.dsts = append(v.dsts, dst)
+	m.voqOf[dst] = v
+	return v
+}
+
+// hashVOQ picks an allocated VOQ in the group via CRC-32 of the dst.
+func (m *Module) hashVOQ(dst packet.NodeID, group int) *voq {
+	var candidates []*voq
+	for _, v := range m.voqs {
+		if len(v.dsts) > 0 && (!m.grouped || v.group == group) {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		// Degenerate pool (MaxVOQs too small for the group): fall back
+		// to any allocated VOQ, then to index 0.
+		for _, v := range m.voqs {
+			if len(v.dsts) > 0 {
+				candidates = append(candidates, v)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		m.inUse++
+		m.sw.Net().Stats.VOQInUse(m.inUse)
+		return m.voqs[0]
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(dst))
+	h := crc32.ChecksumIEEE(b[:])
+	return candidates[int(h)%len(candidates)]
+}
+
+// park stores a data packet in a VOQ and accounts it against the
+// egress port it will eventually use.
+func (m *Module) park(v *voq, p *packet.Packet, outPort int) {
+	p.ViaVOQ = true
+	p.EnqueuedAt = m.now()
+	v.q = append(v.q, p)
+	v.bytes += p.Size
+	v.perDst[p.Dst] += p.Size
+	m.sw.NotePortBytes(outPort, p.Size)
+	m.sw.Net().TraceEvent(trace.OpPark, m.sw.Node().ID, p)
+	m.maybeDstPause(p)
+}
+
+// drain moves VOQ head packets whose destination has window again into
+// the egress queue, in FIFO order; a blocked head blocks the VOQ
+// (shared-VOQ HOL, a corner the paper accepts).
+func (m *Module) drain(v *voq) {
+	for len(v.q) > 0 {
+		p := v.q[0]
+		outPort := m.sw.Net().Topo.ECMP(m.sw.Node().ID, p.Src, p.Dst)
+		w := m.winFor(p.Dst, outPort)
+		if w.avail < p.Size {
+			m.armSYN(w)
+			return
+		}
+		v.q = v.q[1:]
+		v.bytes -= p.Size
+		v.perDst[p.Dst] -= p.Size
+		m.forward(w, p, outPort)
+		m.sw.InjectEgress(p, outPort, 0)
+		m.maybeDstResume(p.Dst)
+	}
+	if v.bytes == 0 {
+		m.freeVOQ(v)
+	}
+}
+
+// freeVOQ returns an emptied VOQ to its group's free list.
+func (m *Module) freeVOQ(v *voq) {
+	if len(v.dsts) == 0 {
+		return
+	}
+	for _, d := range v.dsts {
+		delete(m.voqOf, d)
+		if m.cfg.PerDstPause {
+			m.maybeDstResume(d)
+		}
+	}
+	v.dsts = v.dsts[:0]
+	v.q = nil
+	for k := range v.perDst {
+		delete(v.perDst, k)
+	}
+	if m.grouped && v.group == 1 {
+		m.freeUp = append(m.freeUp, v.idx)
+	} else {
+		m.free = append(m.free, v.idx)
+	}
+	m.inUse--
+}
+
+// ---- Downstream role: credit generation ----
+
+// OnDequeue records a forwarded data packet for crediting. Credits are
+// owed to the upstream switch the packet arrived from; packets that
+// arrived from hosts need none (§3.2).
+func (m *Module) OnDequeue(p *packet.Packet, outPort, queue int) {
+	in := int(p.InPort)
+	if in < 0 || !m.facesSw[in] {
+		return
+	}
+	ch := m.chanFor(in, p.Dst)
+	ch.cumFwd += p.Size
+	if m.cfg.Mode == Ideal {
+		// Strawman: one credit per packet, immediately.
+		m.emitCredit(in, p.Dst, ch)
+		return
+	}
+	if ch.pending == 0 {
+		m.pending[in] = append(m.pending[in], p.Dst)
+	}
+	ch.pending += p.Size
+	m.armTimer(in)
+}
+
+func (m *Module) chanFor(in int, dst packet.NodeID) *downChan {
+	k := chanKey{in, dst}
+	ch, ok := m.down[k]
+	if !ok {
+		ch = &downChan{}
+		m.down[k] = ch
+	}
+	return ch
+}
+
+// armTimer schedules the per-ingress-port credit tick if idle.
+func (m *Module) armTimer(in int) {
+	if m.timerArm[in] {
+		return
+	}
+	m.timerArm[in] = true
+	m.sw.Net().Eng.After(m.cfg.CreditTimer, func() { m.creditTick(in) })
+}
+
+// creditTick emits aggregated credit packets for every destination
+// pending on this ingress port, honouring delayCredit (§4.1).
+func (m *Module) creditTick(in int) {
+	m.timerArm[in] = false
+	dsts := m.pending[in]
+	if len(dsts) == 0 {
+		return
+	}
+	var retained []packet.NodeID
+	for _, d := range dsts {
+		ch := m.down[chanKey{in, d}]
+		if ch == nil || ch.pending == 0 {
+			continue
+		}
+		// delayCredit: withhold while this destination's VOQ here is
+		// overloaded — absorbing more would only build buffer.
+		if v, ok := m.voqOf[d]; ok && v.perDst[d] > m.cfg.DelayCreditThresh {
+			retained = append(retained, d)
+			continue
+		}
+		m.emitCredit(in, d, ch)
+	}
+	m.pending[in] = retained
+	if len(retained) > 0 {
+		m.armTimer(in)
+	}
+}
+
+// emitCredit sends one <dst, credits> pair upstream through port in.
+func (m *Module) emitCredit(in int, dst packet.NodeID, ch *downChan) {
+	n := m.sw.Net()
+	cr := n.NewCtrl(packet.Credit, 0, m.sw.Node().ID, m.sw.Node().Ports[in].Peer)
+	cr.Credits = []packet.CreditEntry{{Dst: dst, Bytes: ch.pending, Cum: ch.cumFwd}}
+	ch.pending = 0
+	n.TraceEvent(trace.OpCredit, m.sw.Node().ID, cr)
+	m.sw.SendCtrl(cr, in)
+}
+
+// ---- Credit consumption and switchSYN (upstream role) ----
+
+// OnCtrl intercepts Floodgate control frames.
+func (m *Module) OnCtrl(p *packet.Packet, inPort int) bool {
+	switch p.Kind {
+	case packet.Credit:
+		for _, e := range p.Credits {
+			m.applyCredit(inPort, e)
+		}
+		return true
+	case packet.SwitchSYN:
+		// Downstream side: the SYN carries the upstream's cumulative
+		// sent count; anything we have not seen by now is presumed lost
+		// (the timeout is much larger than one hop's flight time) and is
+		// credited as gone, then the channel is resynced immediately.
+		ch := m.chanFor(inPort, p.Dst)
+		if p.PSN > ch.lastPSN {
+			ch.cumFwd += p.PSN - ch.lastPSN
+			ch.lastPSN = p.PSN
+		}
+		m.emitCredit(inPort, p.Dst, ch)
+		return true
+	}
+	return false
+}
+
+// applyCredit resynchronises the window from the downstream cumulative
+// count; byte counts in Bytes are informational (the Cum basis is what
+// makes the scheme robust to credit loss, §4.3).
+func (m *Module) applyCredit(port int, e packet.CreditEntry) {
+	w, ok := m.wins[e.Dst]
+	if !ok {
+		return
+	}
+	up := w.port(port)
+	if e.Cum <= up.lastCum {
+		return // stale duplicate
+	}
+	up.lastCum = e.Cum
+	// Recompute availability: init minus bytes still outstanding on any
+	// downstream channel.
+	var outstanding units.ByteSize
+	for _, u := range w.ports {
+		outstanding += u.sent - u.lastCum
+	}
+	w.avail = w.init - outstanding
+	w.lastCredit = m.now()
+	m.sw.Net().Eng.Cancel(w.synTimer)
+	if v, ok := m.voqOf[e.Dst]; ok {
+		m.drain(v)
+	}
+}
+
+// armSYN starts the loss-recovery timeout for an exhausted window.
+func (m *Module) armSYN(w *dstWin) {
+	if w.synTimer.Active() {
+		return
+	}
+	eng := m.sw.Net().Eng
+	w.synTimer = eng.After(m.cfg.SYNTimeout, func() { m.fireSYN(w) })
+}
+
+func (m *Module) fireSYN(w *dstWin) {
+	if w.avail >= packet.MTU {
+		return
+	}
+	n := m.sw.Net()
+	// Probe every downstream channel with outstanding bytes, telling it
+	// our cumulative sent count so it can write off lost bytes. Ports
+	// are walked in index order to keep runs deterministic.
+	probed := false
+	for port := 0; port < len(m.sw.Node().Ports); port++ {
+		u, ok := w.ports[port]
+		if !ok {
+			continue
+		}
+		if u.sent > u.lastCum {
+			syn := n.NewCtrl(packet.SwitchSYN, 0, m.sw.Node().ID, w.dst)
+			syn.PSN = u.sent
+			m.sw.SendCtrl(syn, port)
+			probed = true
+		}
+	}
+	if probed {
+		m.armSYNAgain(w)
+	}
+}
+
+func (m *Module) armSYNAgain(w *dstWin) {
+	eng := m.sw.Net().Eng
+	w.synTimer = eng.After(m.cfg.SYNTimeout, func() { m.fireSYN(w) })
+}
+
+// checkPSNGap detects data lost on the upstream wire: the missing
+// bytes can never be credited by forwarding, so credit them as gone.
+func (m *Module) checkPSNGap(p *packet.Packet, inPort int) {
+	if p.PSN == 0 || !m.facesSw[inPort] {
+		return
+	}
+	ch := m.chanFor(inPort, p.Dst)
+	expected := ch.lastPSN + p.Size
+	if p.PSN > expected {
+		lost := p.PSN - expected
+		ch.cumFwd += lost
+		if m.cfg.Mode == Ideal {
+			m.emitCredit(inPort, p.Dst, ch)
+		} else {
+			if ch.pending == 0 {
+				m.pending[inPort] = append(m.pending[inPort], p.Dst)
+			}
+			ch.pending += lost
+			m.armTimer(inPort)
+		}
+	}
+	if p.PSN > ch.lastPSN {
+		ch.lastPSN = p.PSN
+	}
+}
+
+// ---- Congestion-signal override (§8) ----
+
+// QueueSignal reports the VOQ backlog sum for packets that were parked
+// so ECN/INT reflect the buffering incast traffic actually sees.
+func (m *Module) QueueSignal(p *packet.Packet, outPort int) units.ByteSize {
+	if !p.ViaVOQ {
+		return -1
+	}
+	var sum units.ByteSize
+	for _, v := range m.voqs {
+		sum += v.bytes
+	}
+	return sum + m.sw.PortBacklog(outPort)
+}
+
+// ---- Per-dst PAUSE (§4.3, optional host support) ----
+
+// maybeDstPause pauses the sending host when a first-hop VOQ for its
+// destination exceeds thre_off.
+func (m *Module) maybeDstPause(p *packet.Packet) {
+	if !m.cfg.PerDstPause {
+		return
+	}
+	in := int(p.InPort)
+	if in < 0 || !m.facesHost[in] {
+		return // only first-hop ToRs pause, and only their own hosts
+	}
+	v := m.voqOf[p.Dst]
+	if v == nil || v.perDst[p.Dst] <= m.cfg.PauseThreshOff {
+		return
+	}
+	hosts := m.pausedHosts[p.Dst]
+	if hosts == nil {
+		hosts = make(map[packet.NodeID]bool)
+		m.pausedHosts[p.Dst] = hosts
+	}
+	src := m.sw.Node().Ports[in].Peer
+	if hosts[src] {
+		return
+	}
+	hosts[src] = true
+	n := m.sw.Net()
+	f := n.NewCtrl(packet.DstPause, 0, m.sw.Node().ID, src)
+	f.PauseDst = p.Dst
+	m.sw.SendCtrl(f, in)
+}
+
+// maybeDstResume resumes paused hosts once the VOQ falls below thre_on.
+func (m *Module) maybeDstResume(dst packet.NodeID) {
+	if !m.cfg.PerDstPause {
+		return
+	}
+	hosts := m.pausedHosts[dst]
+	if len(hosts) == 0 {
+		return
+	}
+	if v, ok := m.voqOf[dst]; ok && v.perDst[dst] > m.cfg.PauseThreshOn {
+		return
+	}
+	n := m.sw.Net()
+	node := m.sw.Node()
+	for i := range node.Ports {
+		if !m.facesHost[i] {
+			continue
+		}
+		peer := node.Ports[i].Peer
+		if hosts[peer] {
+			f := n.NewCtrl(packet.DstResume, 0, node.ID, peer)
+			f.PauseDst = dst
+			m.sw.SendCtrl(f, i)
+			delete(hosts, peer)
+		}
+	}
+}
+
+func (m *Module) now() units.Time { return m.sw.Net().Eng.Now() }

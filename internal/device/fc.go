@@ -1,0 +1,56 @@
+// Flow-control plug-in surface. Floodgate, BFC and PFC-w/-tag are all
+// per-switch modules hooked into the same three points of a switch's
+// fast path: ingress classification (after routing), control-packet
+// interception, and egress dequeue. The switch exposes the small
+// mutation surface the modules need (enqueue to egress, send control
+// frames upstream, buffer accounting for parked packets).
+package device
+
+import (
+	"floodgate/internal/packet"
+	"floodgate/internal/units"
+)
+
+// Verdict is a module's decision about an arriving data packet.
+type Verdict struct {
+	// Consumed means the module took ownership (e.g. parked the packet
+	// in a VOQ). The switch keeps the buffer charged; the module must
+	// eventually re-inject via Switch.InjectEgress or discard via
+	// Switch.ReleaseParked.
+	Consumed bool
+	// Queue selects the egress data queue (0 = default). Used by BFC.
+	Queue int
+	// Trim replaces the payload with a header-only packet forwarded in
+	// the control class (NDP cut-payload).
+	Trim bool
+	// Drop discards the packet (lossy fabrics without trimming).
+	Drop bool
+}
+
+// FlowControl is a per-switch flow-control module.
+type FlowControl interface {
+	// OnIngress classifies an arriving data packet after routing chose
+	// outPort. Buffer is already charged.
+	OnIngress(p *packet.Packet, inPort, outPort int) Verdict
+	// OnCtrl intercepts module control traffic (credits, pauses).
+	// Return true if consumed; false forwards it like any control frame.
+	OnCtrl(p *packet.Packet, inPort int) bool
+	// OnDequeue observes a data packet leaving an egress queue for the
+	// wire (BFC resume checks, Floodgate credit bookkeeping).
+	OnDequeue(p *packet.Packet, outPort, queue int)
+	// QueueSignal returns the queue length congestion signals (ECN/INT)
+	// should see for this packet, or -1 to use the port's data backlog
+	// (§8: incast packets report the VOQ sum instead).
+	QueueSignal(p *packet.Packet, outPort int) units.ByteSize
+}
+
+// FCFactory builds a module bound to one switch.
+type FCFactory func(sw *Switch) FlowControl
+
+// nopFC is the default pass-through module.
+type nopFC struct{}
+
+func (nopFC) OnIngress(*packet.Packet, int, int) Verdict     { return Verdict{} }
+func (nopFC) OnCtrl(*packet.Packet, int) bool                { return false }
+func (nopFC) OnDequeue(*packet.Packet, int, int)             {}
+func (nopFC) QueueSignal(*packet.Packet, int) units.ByteSize { return -1 }

@@ -1,0 +1,620 @@
+package device
+
+import (
+	"fmt"
+
+	"floodgate/internal/cc"
+	"floodgate/internal/packet"
+	"floodgate/internal/sim"
+	"floodgate/internal/topo"
+	"floodgate/internal/trace"
+	"floodgate/internal/units"
+)
+
+// MSS is the maximum payload per data segment.
+const MSS = packet.MTU - packet.HeaderSize
+
+// Flow is one transfer from Src to Dst. The same object carries sender
+// state (at the source host) and receiver state (at the destination
+// host); the simulator is single-threaded so sharing is safe.
+type Flow struct {
+	ID    packet.FlowID
+	Src   packet.NodeID
+	Dst   packet.NodeID
+	Size  units.ByteSize
+	Cat   packet.Category
+	Start units.Time
+
+	net  *Network
+	ctrl cc.Controller
+
+	// Sender state.
+	sndNxt, sndUna units.ByteSize
+	nextSend       units.Time
+	lastProgress   units.Time // last cumulative-ACK advance (lazy RTO)
+	senderDone     bool
+	queued         bool // in (or owed to) the host send queue
+	inRtoQ         bool // in the host's retransmission-timeout queue
+
+	// NDP sender state.
+	pullCredits int
+	rtxQ        []units.ByteSize
+
+	// Receiver state.
+	rcvNxt  units.ByteSize
+	lastCNP units.Time
+	cnpSent bool
+	done    bool
+	Finish  units.Time
+
+	// NDP receiver state.
+	seen      map[units.ByteSize]bool
+	rcvdBytes units.ByteSize
+	pullsSent int
+	trims     int
+}
+
+// Done reports whether the last byte was delivered.
+func (f *Flow) Done() bool { return f.done }
+
+// FCT returns the completion time (valid once Done).
+func (f *Flow) FCT() units.Duration { return f.Finish.Sub(f.Start) }
+
+// Controller exposes the flow's congestion controller (for tests).
+func (f *Flow) Controller() cc.Controller { return f.ctrl }
+
+// totalPkts is the number of full-payload sends the flow needs.
+func (f *Flow) totalPkts() int { return int((f.Size + MSS - 1) / MSS) }
+
+func (f *Flow) inflight() units.ByteSize { return f.sndNxt - f.sndUna }
+
+// Host is an end station: one NIC port, paced sender flows, receiver
+// logic generating ACKs/CNPs (and NDP NACKs/pulls), and per-dst pause
+// state for Floodgate's optional host support.
+type Host struct {
+	net  *Network
+	node *topo.Node
+	port *topo.Port
+
+	ctrlQ fifo
+	busy  bool
+
+	// sendq holds flows believed sendable right now (round-robin by
+	// rotation); blocked flows leave the queue and are re-enqueued by
+	// the event that unblocks them (ACK frees window, pace timer
+	// expires, pause lifts). This keeps the NIC scheduler O(1) per
+	// packet regardless of how many flows are outstanding.
+	sendq       []*Flow
+	sendqHead   int
+	senderFlows []*Flow // all sender-side flows not yet fully acked (pause-resume scans)
+
+	// rtoQ is a FIFO of flows with a pending retransmission timeout;
+	// one engine timer serves the head. Deadlines are re-derived from
+	// lastProgress when a flow surfaces, so ACK progress costs nothing.
+	// A flow whose progress advanced re-queues instead of firing; this
+	// can delay an individual flow's timeout by up to one RTO, which is
+	// harmless for a coarse go-back-N timer.
+	rtoQ     []*Flow
+	rtoHead  int
+	rtoTimer sim.Handle
+
+	pfcPaused bool
+	pfcStart  units.Time
+
+	pausedDst   map[packet.NodeID]bool
+	pausedFlows map[packet.FlowID]bool // BFC per-flow (NIC-queue) pause
+
+	// NDP pull pacing.
+	pullQ    []packet.FlowID
+	pullBusy bool
+
+	// Pre-built capture-free NIC callbacks (see outPort in switch.go).
+	deliverFn func(any)
+}
+
+// hostTxDoneFn completes the NIC serialization.
+func hostTxDoneFn(a any) {
+	h := a.(*Host)
+	h.busy = false
+	h.kick()
+}
+
+// flowWakeFn fires a flow's pacing timer: the flow becomes sendable.
+func flowWakeFn(a any) {
+	f := a.(*Flow)
+	f.queued = false
+	h := f.net.HostsByID[f.Src]
+	h.enqueue(f)
+	h.kick()
+}
+
+// hostPullFn continues the NDP pull pacer.
+func hostPullFn(a any) {
+	h := a.(*Host)
+	h.pullBusy = false
+	h.pacePulls()
+}
+
+// hostRTOFn services the host's retransmission-timeout queue.
+func hostRTOFn(a any) { a.(*Host).serviceRTO() }
+
+func newHost(n *Network, node *topo.Node) *Host {
+	if len(node.Ports) != 1 {
+		panic("device: hosts must have exactly one port")
+	}
+	h := &Host{
+		net:         n,
+		node:        node,
+		port:        &node.Ports[0],
+		pausedDst:   make(map[packet.NodeID]bool),
+		pausedFlows: make(map[packet.FlowID]bool),
+	}
+	peer, peerPort := h.port.Peer, h.port.PeerPort
+	h.deliverFn = func(a any) { n.deliver(peer, a.(*packet.Packet), peerPort) }
+	return h
+}
+
+// ID returns the host's node id.
+func (h *Host) ID() packet.NodeID { return h.node.ID }
+
+// LineRate returns the NIC rate.
+func (h *Host) LineRate() units.BitRate { return h.port.Rate }
+
+// startFlow registers a new sender flow and kicks the NIC.
+func (h *Host) startFlow(f *Flow) {
+	h.senderFlows = append(h.senderFlows, f)
+	h.enqueue(f)
+	h.kick()
+}
+
+// wantsSend reports whether the flow has anything left to emit.
+func (f *Flow) wantsSend(ndp bool) bool {
+	if f.senderDone {
+		return false
+	}
+	if ndp && len(f.rtxQ) > 0 {
+		return true
+	}
+	return f.sndNxt < f.Size
+}
+
+// enqueue adds a flow to the send queue unless it is already there
+// (or owed to it via a pending pace timer).
+func (h *Host) enqueue(f *Flow) {
+	if f.queued || !f.wantsSend(h.net.Cfg.NDP.Enable) {
+		return
+	}
+	f.queued = true
+	h.sendq = append(h.sendq, f)
+}
+
+// popSendq removes the next queued flow, compacting lazily.
+func (h *Host) popSendq() *Flow {
+	if h.sendqHead >= len(h.sendq) {
+		return nil
+	}
+	f := h.sendq[h.sendqHead]
+	h.sendq[h.sendqHead] = nil
+	h.sendqHead++
+	if h.sendqHead > 64 && h.sendqHead*2 >= len(h.sendq) {
+		n := copy(h.sendq, h.sendq[h.sendqHead:])
+		for i := n; i < len(h.sendq); i++ {
+			h.sendq[i] = nil
+		}
+		h.sendq = h.sendq[:n]
+		h.sendqHead = 0
+	}
+	return f
+}
+
+// ---- Receive paths ----
+
+func (h *Host) receive(p *packet.Packet) {
+	now := h.net.Eng.Now()
+	switch p.Kind {
+	case packet.PFCPause:
+		if !h.pfcPaused {
+			h.pfcPaused = true
+			h.pfcStart = now
+		}
+	case packet.PFCResume:
+		if h.pfcPaused {
+			h.pfcPaused = false
+			h.net.Stats.PFCPaused(topo.LayerHost, now.Sub(h.pfcStart))
+			h.kick()
+		}
+	case packet.DstPause:
+		h.pausedDst[p.PauseDst] = true
+	case packet.DstResume:
+		delete(h.pausedDst, p.PauseDst)
+		h.wakeDst(p.PauseDst)
+	case packet.BFCPause:
+		h.pausedFlows[p.Flow] = true
+	case packet.BFCResume:
+		delete(h.pausedFlows, p.Flow)
+		if f := h.net.flow(p.Flow); f != nil {
+			h.enqueue(f)
+			h.kick()
+		}
+	case packet.Data:
+		h.receiveData(p, now)
+	case packet.Ack:
+		h.receiveAck(p, now)
+	case packet.CNP:
+		if f := h.net.flow(p.Flow); f != nil {
+			f.ctrl.OnCNP(now)
+		}
+	case packet.Nack:
+		h.receiveNack(p)
+	case packet.Pull:
+		if f := h.net.flow(p.Flow); f != nil && !f.senderDone {
+			f.pullCredits++
+			h.enqueue(f)
+			h.kick()
+		}
+	}
+	// Every frame terminates here; return it to the pool.
+	h.net.Recycle(p)
+}
+
+// wakeDst re-enqueues flows toward a destination whose per-dst pause
+// lifted, compacting finished senders from the scan list on the way.
+func (h *Host) wakeDst(dst packet.NodeID) {
+	live := h.senderFlows[:0]
+	for _, f := range h.senderFlows {
+		if f.senderDone {
+			continue
+		}
+		live = append(live, f)
+		if f.Dst == dst {
+			h.enqueue(f)
+		}
+	}
+	for i := len(live); i < len(h.senderFlows); i++ {
+		h.senderFlows[i] = nil
+	}
+	h.senderFlows = live
+	h.kick()
+}
+
+// finalizePFC closes an open host pause interval at the end of a run.
+func (h *Host) finalizePFC() {
+	if h.pfcPaused {
+		h.net.Stats.PFCPaused(topo.LayerHost, h.net.Eng.Now().Sub(h.pfcStart))
+		h.pfcStart = h.net.Eng.Now()
+	}
+}
+
+func (h *Host) receiveData(p *packet.Packet, now units.Time) {
+	h.net.TraceEvent(trace.OpDeliver, h.node.ID, p)
+	f := h.net.flow(p.Flow)
+	if f == nil || f.done {
+		return
+	}
+	if h.net.Cfg.NDP.Enable {
+		h.receiveDataNDP(f, p, now)
+		return
+	}
+	// Go-back-N receiver: in-order delivery only.
+	if p.Seq == f.rcvNxt {
+		f.rcvNxt += p.Payload
+		h.net.Stats.Received(now, f.Cat, p.Payload)
+		if f.rcvNxt >= f.Size {
+			h.completeFlow(f, now)
+		}
+	}
+	// DCQCN notification point: reflect marks as rate-limited CNPs.
+	if p.ECN && (!f.cnpSent || now.Sub(f.lastCNP) >= h.net.Cfg.CNPInterval) {
+		f.lastCNP = now
+		f.cnpSent = true
+		h.sendCtrl(h.net.NewCtrl(packet.CNP, f.ID, h.node.ID, f.Src))
+	}
+	// Cumulative ACK carrying RTT echo and INT telemetry (copied, so
+	// both packets recycle independently).
+	ack := h.net.NewCtrl(packet.Ack, f.ID, h.node.ID, f.Src)
+	ack.AckSeq = f.rcvNxt
+	ack.EchoECN = p.ECN
+	ack.SentAt = p.SentAt
+	if len(p.Int) > 0 {
+		ack.Int = append(ack.Int[:0], p.Int...)
+		ack.Size += units.ByteSize(len(p.Int)) * packet.IntHopSize
+	}
+	h.sendCtrl(ack)
+}
+
+func (h *Host) receiveDataNDP(f *Flow, p *packet.Packet, now units.Time) {
+	if p.Trimmed {
+		// Cut payload: NACK the segment so the sender queues it for
+		// retransmission, then pull it.
+		f.trims++
+		nack := h.net.NewCtrl(packet.Nack, f.ID, h.node.ID, f.Src)
+		nack.AckSeq = p.Seq
+		h.sendCtrl(nack)
+		h.maybePull(f)
+		return
+	}
+	if f.seen == nil {
+		f.seen = make(map[units.ByteSize]bool)
+	}
+	if !f.seen[p.Seq] {
+		f.seen[p.Seq] = true
+		f.rcvdBytes += p.Payload
+		h.net.Stats.Received(now, f.Cat, p.Payload)
+		if f.rcvdBytes >= f.Size {
+			h.completeFlow(f, now)
+			return
+		}
+	}
+	h.maybePull(f)
+}
+
+// maybePull queues one pull token if the sender still needs credit to
+// cover every remaining segment (including retransmissions of trims).
+func (h *Host) maybePull(f *Flow) {
+	unscheduled := int((h.net.BaseBDP() + MSS - 1) / MSS)
+	// A flow shorter than the unscheduled window consumed only its own
+	// packet count of free sends; retransmissions of its trimmed
+	// segments still need pulls.
+	if t := f.totalPkts(); unscheduled > t {
+		unscheduled = t
+	}
+	needed := f.totalPkts() + f.trims - unscheduled
+	if f.pullsSent >= needed || f.done {
+		return
+	}
+	f.pullsSent++
+	h.pullQ = append(h.pullQ, f.ID)
+	h.pacePulls()
+}
+
+// pacePulls emits queued pulls at one per MTU-time, emulating NDP's
+// receiver-paced pull queue.
+func (h *Host) pacePulls() {
+	if h.pullBusy || len(h.pullQ) == 0 {
+		return
+	}
+	id := h.pullQ[0]
+	h.pullQ = h.pullQ[1:]
+	f := h.net.flow(id)
+	if f != nil && !f.done {
+		h.sendCtrl(h.net.NewCtrl(packet.Pull, f.ID, h.node.ID, f.Src))
+	}
+	h.pullBusy = true
+	h.net.Eng.AfterArg(units.TxTime(packet.MTU, h.port.Rate), hostPullFn, h)
+}
+
+func (h *Host) completeFlow(f *Flow, now units.Time) {
+	f.done = true
+	f.Finish = now
+	h.net.Stats.FlowDone(uint64(f.ID), f.Cat, f.Size, f.Start, now, h.port.Rate)
+	if h.net.OnFlowDone != nil {
+		h.net.OnFlowDone(f, now)
+	}
+}
+
+func (h *Host) receiveAck(p *packet.Packet, now units.Time) {
+	f := h.net.flow(p.Flow)
+	if f == nil {
+		return
+	}
+	var rtt units.Duration
+	if p.SentAt > 0 {
+		rtt = now.Sub(p.SentAt)
+	}
+	f.ctrl.OnAck(now, p, rtt)
+	if p.AckSeq > f.sndUna {
+		f.sndUna = p.AckSeq
+		f.lastProgress = now
+		if f.sndUna >= f.Size {
+			f.senderDone = true // its rtoQ entry is skipped when due
+		} else {
+			// Freed window may unblock the flow.
+			h.enqueue(f)
+		}
+		h.kick()
+	}
+}
+
+func (h *Host) receiveNack(p *packet.Packet) {
+	f := h.net.flow(p.Flow)
+	if f == nil || f.senderDone {
+		return
+	}
+	f.rtxQ = append(f.rtxQ, p.AckSeq)
+	h.net.Stats.Retransmit()
+	h.enqueue(f)
+	h.kick()
+}
+
+// armRTO places the flow on the host's timeout queue if absent.
+func (h *Host) armRTO(f *Flow) {
+	if h.net.Cfg.NDP.Enable || f.inRtoQ {
+		return // NDP recovers via NACK/pull, not timeouts
+	}
+	f.lastProgress = h.net.Eng.Now()
+	f.inRtoQ = true
+	h.rtoQ = append(h.rtoQ, f)
+	h.ensureRTOTimer()
+}
+
+func (h *Host) ensureRTOTimer() {
+	if h.rtoTimer.Active() || h.rtoHead >= len(h.rtoQ) {
+		return
+	}
+	head := h.rtoQ[h.rtoHead]
+	h.rtoTimer = h.net.Eng.AtArg(head.lastProgress.Add(h.net.Cfg.RTO), hostRTOFn, h)
+}
+
+// serviceRTO pops expired entries: finished flows drop out, recently
+// progressing flows re-queue, stalled flows go-back-N.
+func (h *Host) serviceRTO() {
+	now := h.net.Eng.Now()
+	fired := false
+	for h.rtoHead < len(h.rtoQ) {
+		f := h.rtoQ[h.rtoHead]
+		if !f.senderDone && f.lastProgress.Add(h.net.Cfg.RTO) > now {
+			break // head not yet due; re-arm for it below
+		}
+		h.rtoQ[h.rtoHead] = nil
+		h.rtoHead++
+		f.inRtoQ = false
+		if f.senderDone || f.done {
+			continue
+		}
+		// Stalled: rewind and retransmit.
+		if f.sndNxt > f.sndUna {
+			f.sndNxt = f.sndUna
+			h.net.Stats.Retransmit()
+		}
+		f.lastProgress = now
+		f.inRtoQ = true
+		h.rtoQ = append(h.rtoQ, f)
+		h.enqueue(f)
+		fired = true
+	}
+	if h.rtoHead > 64 && h.rtoHead*2 >= len(h.rtoQ) {
+		n := copy(h.rtoQ, h.rtoQ[h.rtoHead:])
+		for i := n; i < len(h.rtoQ); i++ {
+			h.rtoQ[i] = nil
+		}
+		h.rtoQ = h.rtoQ[:n]
+		h.rtoHead = 0
+	}
+	h.ensureRTOTimer()
+	if fired {
+		h.kick()
+	}
+}
+
+// ---- Transmit path ----
+
+// sendCtrl queues a control frame with strict priority over data.
+func (h *Host) sendCtrl(p *packet.Packet) {
+	h.ctrlQ.push(p)
+	h.kick()
+}
+
+// kick runs the NIC scheduler: control first, then one data segment
+// from the next sendable flow. Flows that turn out to be blocked fall
+// out of the queue; the unblocking event re-enqueues them, so the
+// scheduler does O(1) amortised work per packet.
+func (h *Host) kick() {
+	if h.busy {
+		return
+	}
+	if !h.ctrlQ.empty() {
+		h.transmit(h.ctrlQ.pop())
+		return
+	}
+	if h.pfcPaused {
+		return
+	}
+	now := h.net.Eng.Now()
+	ndp := h.net.Cfg.NDP.Enable
+	for {
+		f := h.popSendq()
+		if f == nil {
+			return
+		}
+		f.queued = false
+		if !f.wantsSend(ndp) {
+			continue
+		}
+		if (len(h.pausedDst) != 0 && h.pausedDst[f.Dst]) ||
+			(len(h.pausedFlows) != 0 && h.pausedFlows[f.ID]) {
+			continue // resume re-enqueues
+		}
+		if ndp {
+			canRtx := len(f.rtxQ) > 0 && f.pullCredits > 0
+			canNew := f.sndNxt < f.Size && (f.sndNxt < h.net.BaseBDP() || f.pullCredits > 0)
+			if !canRtx && !canNew {
+				continue // a Pull re-enqueues
+			}
+		} else {
+			payload := f.Size - f.sndNxt
+			if payload > MSS {
+				payload = MSS
+			}
+			if f.inflight() > 0 && f.inflight()+payload > f.ctrl.Window() {
+				continue // an ACK re-enqueues
+			}
+			if f.nextSend > now {
+				// Pacing: the flow stays owed to the queue; its wake
+				// timer re-enqueues it.
+				f.queued = true
+				h.net.Eng.AtArg(f.nextSend, flowWakeFn, f)
+				continue
+			}
+		}
+		h.sendSegment(f, now)
+		return
+	}
+}
+
+// sendSegment emits the flow's next data packet (or an NDP rtx).
+func (h *Host) sendSegment(f *Flow, now units.Time) {
+	var seq units.ByteSize
+	isRtx := false
+	if h.net.Cfg.NDP.Enable && len(f.rtxQ) > 0 && f.pullCredits > 0 {
+		seq = f.rtxQ[0]
+		f.rtxQ = f.rtxQ[1:]
+		f.pullCredits--
+		isRtx = true
+	} else {
+		seq = f.sndNxt
+		if h.net.Cfg.NDP.Enable && seq >= h.net.BaseBDP() {
+			f.pullCredits--
+		}
+	}
+	payload := f.Size - seq
+	if payload > MSS {
+		payload = MSS
+	}
+	last := seq+payload >= f.Size
+	p := h.net.newData(f.ID, f.Src, f.Dst, seq, payload, last)
+	p.Cat = f.Cat
+	p.Retrans = isRtx
+	p.SentAt = now
+	p.InPort = -1
+	p.UpstreamQ = -1 // hosts have per-flow queues, not indexed ones
+	if !isRtx {
+		f.sndNxt = seq + payload
+	}
+	f.nextSend = now.Add(units.TxTime(p.Size, f.ctrl.Rate()))
+	f.ctrl.OnSend(now, p.Size)
+	h.armRTO(f)
+	h.enqueue(f) // rotate to the queue tail if more remains
+	h.net.TraceEvent(trace.OpSend, h.node.ID, p)
+	h.transmit(p)
+}
+
+// transmit serialises one frame on the NIC.
+func (h *Host) transmit(p *packet.Packet) {
+	h.busy = true
+	ser := units.TxTime(p.Size, h.port.Rate)
+	h.net.Eng.AfterArg(ser, hostTxDoneFn, h)
+	h.net.Eng.AfterArg(ser+h.port.Prop, h.deliverFn, p)
+}
+
+// DebugString reports a flow's transfer state (diagnostics).
+func (f *Flow) DebugString() string {
+	return fmt.Sprintf("flow %d %d->%d size=%v start=%v sndNxt=%v sndUna=%v rcvNxt=%v queued=%v inRtoQ=%v senderDone=%v",
+		f.ID, f.Src, f.Dst, f.Size, f.Start, f.sndNxt, f.sndUna, f.rcvNxt, f.queued, f.inRtoQ, f.senderDone)
+}
+
+// DebugHostState reports NIC scheduler internals (diagnostics).
+func (h *Host) DebugHostState() string {
+	inSendq := 0
+	for i := h.sendqHead; i < len(h.sendq); i++ {
+		if h.sendq[i] != nil {
+			inSendq++
+		}
+	}
+	return fmt.Sprintf("host %d busy=%v pfc=%v sendq=%d rtoQ=%d rtoTimerActive=%v ctrlq=%d",
+		h.node.ID, h.busy, h.pfcPaused, inSendq, len(h.rtoQ)-h.rtoHead, h.rtoTimer.Active(), h.ctrlQ.len())
+}
+
+// DebugNextSend exposes pacing state (diagnostics).
+func (f *Flow) DebugNextSend() string {
+	return fmt.Sprintf("nextSend=%v lastProgress=%v window=%v rate=%v", f.nextSend, f.lastProgress, f.ctrl.Window(), f.ctrl.Rate())
+}

@@ -1,0 +1,359 @@
+// Package device turns a topology into a running packet-level network:
+// switches with shared buffers, PFC and ECN; hosts with paced,
+// window-limited, go-back-N reliable flows driven by pluggable
+// congestion control; and a FlowControl hook where Floodgate and the
+// baseline schemes attach. Everything executes on one sim.Engine.
+package device
+
+import (
+	"fmt"
+
+	"floodgate/internal/cc"
+	"floodgate/internal/packet"
+	"floodgate/internal/sim"
+	"floodgate/internal/stats"
+	"floodgate/internal/topo"
+	"floodgate/internal/trace"
+	"floodgate/internal/units"
+)
+
+// PFCConfig controls Priority Flow Control on switches.
+type PFCConfig struct {
+	Enable bool
+	// Alpha is the dynamic-threshold factor: an ingress port pauses its
+	// upstream when its occupancy exceeds Alpha × free buffer (§6: α=2).
+	Alpha float64
+	// ResumeFraction scales the pause threshold down for resume
+	// hysteresis (resume below Alpha × free × ResumeFraction).
+	ResumeFraction float64
+}
+
+// ECNConfig controls RED/ECN marking on switch egress queues.
+type ECNConfig struct {
+	Enable bool
+	KMin   units.ByteSize
+	KMax   units.ByteSize
+	PMax   float64
+}
+
+// NDPConfig enables cut-payload trimming on switches and receiver-
+// driven pulls on hosts.
+type NDPConfig struct {
+	Enable     bool
+	TrimThresh units.ByteSize // egress backlog above which payloads are trimmed
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Topo   *topo.Topology
+	Engine *sim.Engine
+	Stats  *stats.Collector
+	Rand   *sim.Rand
+
+	BufferSize units.ByteSize // per-switch shared buffer (default 20MB)
+	PFC        PFCConfig
+	ECN        ECNConfig
+	INT        bool // append HPCC telemetry at egress
+	NDP        NDPConfig
+
+	CC      cc.Factory
+	BaseRTT units.Duration // per-flow Env.BaseRTT (default: derived)
+	RTO     units.Duration // go-back-N retransmission timeout (default 1ms)
+
+	// CNPInterval rate-limits DCQCN notification packets per flow.
+	CNPInterval units.Duration
+
+	// QueuesPerPort is the number of egress data queues (1 unless BFC).
+	QueuesPerPort int
+
+	// FC builds the per-switch flow-control module (nil = none).
+	FC FCFactory
+
+	// PerDstPause enables host NICs to honour Floodgate dstPause frames.
+	PerDstPause bool
+
+	// LossRate injects uniform drops of data and credit frames on
+	// switch-to-switch links.
+	LossRate float64
+
+	// CreditLossRate additionally drops only Floodgate credit/switchSYN
+	// frames — the paper's Fig 12 stress, which isolates the switch
+	// window-recovery path (PSN + switchSYN) from host retransmission.
+	CreditLossRate float64
+
+	// Trace, when non-nil, records packet lifecycle events (see the
+	// trace package). Disabled tracing costs one nil check per event.
+	Trace *trace.Buffer
+}
+
+// Defaults fills unset fields.
+func (c *Config) defaults() {
+	if c.BufferSize == 0 {
+		c.BufferSize = 20 * units.MB
+	}
+	if c.PFC.Alpha == 0 {
+		c.PFC.Alpha = 2
+	}
+	if c.PFC.ResumeFraction == 0 {
+		c.PFC.ResumeFraction = 0.8
+	}
+	if c.ECN.KMin == 0 {
+		c.ECN.KMin = 40 * units.KB
+	}
+	if c.ECN.KMax == 0 {
+		c.ECN.KMax = 160 * units.KB
+	}
+	if c.ECN.PMax == 0 {
+		c.ECN.PMax = 0.2
+	}
+	if c.RTO == 0 {
+		c.RTO = units.Millisecond
+	}
+	if c.CNPInterval == 0 {
+		c.CNPInterval = 50 * units.Microsecond
+	}
+	if c.QueuesPerPort == 0 {
+		c.QueuesPerPort = 1
+	}
+	if c.NDP.Enable && c.NDP.TrimThresh == 0 {
+		c.NDP.TrimThresh = 8 * packet.MTU
+	}
+	if c.CC == nil {
+		c.CC = cc.NewFixedWindow()
+	}
+	if c.Rand == nil {
+		c.Rand = sim.NewRand(1)
+	}
+	if c.Stats == nil {
+		c.Stats = stats.NewCollector(10 * units.Microsecond)
+	}
+}
+
+// Network is the wired simulation: one device per topology node.
+type Network struct {
+	Cfg    Config
+	Topo   *topo.Topology
+	Eng    *sim.Engine
+	Stats  *stats.Collector
+	rand   *sim.Rand
+	nextID uint64
+
+	Switches  []*Switch // indexed by NodeID (nil for hosts)
+	HostsByID []*Host   // indexed by NodeID (nil for switches)
+	Hosts     []*Host   // dense, in topo.Hosts order
+
+	flows   []*Flow // indexed by FlowID (ids are dense, starting at 1)
+	pktPool []*packet.Packet
+
+	// OnFlowDone, if set, fires when a flow's last byte is delivered.
+	OnFlowDone func(f *Flow, finish units.Time)
+}
+
+// New wires a network from the config.
+func New(cfg Config) *Network {
+	cfg.defaults()
+	if cfg.Topo == nil || cfg.Engine == nil {
+		panic("device: Config.Topo and Config.Engine are required")
+	}
+	n := &Network{
+		Cfg:       cfg,
+		Topo:      cfg.Topo,
+		Eng:       cfg.Engine,
+		Stats:     cfg.Stats,
+		rand:      cfg.Rand,
+		Switches:  make([]*Switch, len(cfg.Topo.Nodes)),
+		HostsByID: make([]*Host, len(cfg.Topo.Nodes)),
+		flows:     []*Flow{nil}, // FlowID 0 is unused
+	}
+	if n.Cfg.BaseRTT == 0 {
+		n.Cfg.BaseRTT = n.deriveBaseRTT()
+	}
+	for _, node := range cfg.Topo.Nodes {
+		if node.Kind == topo.SwitchNode {
+			n.Switches[node.ID] = newSwitch(n, node)
+		} else {
+			h := newHost(n, node)
+			n.HostsByID[node.ID] = h
+			n.Hosts = append(n.Hosts, h)
+		}
+	}
+	// Flow-control modules attach after all devices exist (they inspect
+	// topology neighbours).
+	if cfg.FC != nil {
+		for _, sw := range n.Switches {
+			if sw != nil {
+				sw.fc = cfg.FC(sw)
+			}
+		}
+	}
+	return n
+}
+
+// deriveBaseRTT estimates the unloaded cross-fabric RTT: propagation
+// both ways over the longest host-to-host path plus per-hop MTU
+// serialization. For the paper's 2-tier fabric this lands at ~5.1 µs.
+func (n *Network) deriveBaseRTT() units.Duration {
+	t := n.Topo
+	if len(t.Hosts) < 2 {
+		return 10 * units.Microsecond
+	}
+	src := t.Hosts[0]
+	dst := t.Hosts[len(t.Hosts)-1]
+	var oneWay units.Duration
+	cur := src
+	for cur != dst {
+		p := t.Node(cur).Ports[t.ECMP(cur, src, dst)]
+		oneWay += p.Prop + units.TxTime(packet.MTU, p.Rate)
+		cur = p.Peer
+	}
+	// Reverse path carries the (MTU-serialised) ACK per the convention
+	// of symmetric base RTT; add control serialization which is tiny.
+	return 2 * oneWay
+}
+
+// BaseRTT returns the flow-level base RTT in use.
+func (n *Network) BaseRTT() units.Duration { return n.Cfg.BaseRTT }
+
+// BaseBDP returns host line rate × base RTT for the first host.
+func (n *Network) BaseBDP() units.ByteSize {
+	h := n.Hosts[0]
+	return units.BDP(h.port.Rate, n.Cfg.BaseRTT)
+}
+
+// pktID mints a unique packet id.
+func (n *Network) pktID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// PktID mints a unique packet id (for flow-control modules).
+func (n *Network) PktID() uint64 { return n.pktID() }
+
+// TraceEvent records a packet lifecycle point when tracing is enabled
+// (used by devices and flow-control modules).
+func (n *Network) TraceEvent(op trace.Op, node packet.NodeID, p *packet.Packet) {
+	if n.Cfg.Trace != nil {
+		n.Cfg.Trace.Record(trace.Of(n.Eng.Now(), op, node, p))
+	}
+}
+
+// Device dispatch: deliver a packet to the node that owns the port.
+func (n *Network) deliver(to packet.NodeID, p *packet.Packet, inPort int) {
+	if sw := n.Switches[to]; sw != nil {
+		sw.receive(p, inPort)
+		return
+	}
+	n.HostsByID[to].receive(p)
+}
+
+// Flow lookup (receiver and sender side share the Flow object).
+func (n *Network) flow(id packet.FlowID) *Flow {
+	if id == 0 || int(id) >= len(n.flows) {
+		return nil
+	}
+	return n.flows[id]
+}
+
+// AddFlow registers a flow from src to dst starting at the given time.
+// Returns the flow for inspection.
+func (n *Network) AddFlow(src, dst packet.NodeID, size units.ByteSize, start units.Time, cat packet.Category) *Flow {
+	if src == dst {
+		panic("device: flow with src == dst")
+	}
+	if size <= 0 {
+		panic("device: flow with non-positive size")
+	}
+	sh := n.HostsByID[src]
+	dh := n.HostsByID[dst]
+	if sh == nil || dh == nil {
+		panic(fmt.Sprintf("device: flow endpoints must be hosts (%d -> %d)", src, dst))
+	}
+	id := packet.FlowID(len(n.flows))
+	env := cc.Env{
+		LinkRate: sh.port.Rate,
+		BaseRTT:  n.Cfg.BaseRTT,
+		BDP:      units.BDP(sh.port.Rate, n.Cfg.BaseRTT),
+	}
+	f := &Flow{
+		ID: id, Src: src, Dst: dst, Size: size, Cat: cat,
+		Start: start, ctrl: n.Cfg.CC(env), net: n,
+	}
+	n.flows = append(n.flows, f)
+	if start == n.Eng.Now() {
+		sh.startFlow(f)
+	} else {
+		n.Eng.At(start, func() { sh.startFlow(f) })
+	}
+	return f
+}
+
+// Packet pooling: control frames and data segments are recycled at
+// their terminal consumption points (receiver host, pause handler,
+// drop), which removes the dominant GC pressure of high-rate runs.
+
+// newData builds a pooled data segment.
+func (n *Network) newData(flow packet.FlowID, src, dst packet.NodeID, seq, payload units.ByteSize, last bool) *packet.Packet {
+	p := n.getPkt()
+	p.ID = n.pktID()
+	p.Kind = packet.Data
+	p.Flow = flow
+	p.Src = src
+	p.Dst = dst
+	p.Size = payload + packet.HeaderSize
+	p.Seq = seq
+	p.Payload = payload
+	p.Last = last
+	return p
+}
+
+// NewCtrl builds a pooled minimum-size control frame (exported for
+// flow-control modules).
+func (n *Network) NewCtrl(kind packet.Kind, flow packet.FlowID, src, dst packet.NodeID) *packet.Packet {
+	p := n.getPkt()
+	p.ID = n.pktID()
+	p.Kind = kind
+	p.Flow = flow
+	p.Src = src
+	p.Dst = dst
+	p.Size = packet.CtrlSize
+	return p
+}
+
+func (n *Network) getPkt() *packet.Packet {
+	if m := len(n.pktPool); m > 0 {
+		p := n.pktPool[m-1]
+		n.pktPool[m-1] = nil
+		n.pktPool = n.pktPool[:m-1]
+		p.ResetKeepBuffers()
+		return p
+	}
+	return &packet.Packet{}
+}
+
+// Recycle returns a fully consumed packet to the pool. Callers must
+// hold the only reference (exported for flow-control modules).
+func (n *Network) Recycle(p *packet.Packet) {
+	if p == nil {
+		return
+	}
+	n.pktPool = append(n.pktPool, p)
+}
+
+// Run advances the simulation to the given time.
+func (n *Network) Run(until units.Time) { n.Eng.Run(until) }
+
+// Finalize closes statistics intervals that are still open (PFC pause
+// periods in progress when the run ends). Call once after the last Run.
+func (n *Network) Finalize() {
+	for _, sw := range n.Switches {
+		if sw != nil {
+			sw.finalizePFC()
+		}
+	}
+	for _, h := range n.Hosts {
+		h.finalizePFC()
+	}
+}
+
+// Flows returns all registered flows (test and reporting helper).
+func (n *Network) Flows() []*Flow { return n.flows[1:] }

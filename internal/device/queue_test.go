@@ -1,0 +1,89 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+
+	"floodgate/internal/packet"
+	"floodgate/internal/units"
+)
+
+func TestFifoBasics(t *testing.T) {
+	var q fifo
+	if !q.empty() || q.pop() != nil || q.peek() != nil {
+		t.Fatal("empty fifo misbehaves")
+	}
+	p1 := packet.NewData(1, 1, 0, 1, 0, 100, false)
+	p2 := packet.NewData(2, 1, 0, 1, 100, 200, false)
+	q.push(p1)
+	q.push(p2)
+	if q.len() != 2 || q.size() != p1.Size+p2.Size {
+		t.Fatalf("len=%d size=%v", q.len(), q.size())
+	}
+	if q.peek() != p1 || q.pop() != p1 || q.pop() != p2 {
+		t.Fatal("FIFO order violated")
+	}
+	if !q.empty() || q.size() != 0 {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestFifoGrowsAcrossWraparound(t *testing.T) {
+	var q fifo
+	// Interleave pushes and pops to force head wraparound, then grow.
+	id := uint64(0)
+	mk := func() *packet.Packet {
+		id++
+		return packet.NewData(id, 1, 0, 1, 0, 100, false)
+	}
+	for i := 0; i < 10; i++ {
+		q.push(mk())
+	}
+	for i := 0; i < 7; i++ {
+		q.pop()
+	}
+	for i := 0; i < 40; i++ {
+		q.push(mk())
+	}
+	want := uint64(8)
+	for !q.empty() {
+		p := q.pop()
+		if p.ID != want {
+			t.Fatalf("order broken after growth: got %d want %d", p.ID, want)
+		}
+		want++
+	}
+}
+
+func TestFifoPropertyFIFOAndByteAccounting(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var q fifo
+		var model []*packet.Packet
+		var bytes units.ByteSize
+		id := uint64(0)
+		for _, op := range ops {
+			if op%3 != 0 || len(model) == 0 {
+				id++
+				p := packet.NewData(id, 1, 0, 1, 0, units.ByteSize(op%1400)+1, false)
+				q.push(p)
+				model = append(model, p)
+				bytes += p.Size
+			} else {
+				got := q.pop()
+				want := model[0]
+				model = model[1:]
+				bytes -= want.Size
+				if got != want {
+					return false
+				}
+			}
+			if q.len() != len(model) || q.size() != bytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package exp
+
+import (
+	"fmt"
+
+	"floodgate/internal/core"
+	"floodgate/internal/stats"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+	"floodgate/internal/workload"
+)
+
+// This file holds studies beyond the paper's figures: ablations of
+// Floodgate's individual design choices (each §4 mechanism switched
+// off in isolation) and the §8 compatibility matrix across congestion
+// controls. They ship as first-class experiments so the claims in
+// DESIGN.md are regenerable.
+
+// AblationFloodgate strips one mechanism at a time from the practical
+// design and reruns the WebServer incast-mix:
+//
+//   - no-delayCredit: credits always returned on the timer
+//   - no-aggregation: per-packet credits (ideal timing, practical window)
+//   - tiny-VOQ-pool:  1 VOQ, forcing CRC sharing
+//   - no-isolation:   parked packets go to the egress queue anyway
+//     (approximated by an effectively infinite window)
+func AblationFloodgate(o Options) []Table {
+	o = o.norm()
+	t := Table{
+		Title:  "Ablation: Floodgate design choices (WebServer incastmix)",
+		Header: []string{"variant", "maxSwitch", "ToR-Up", "Core", "ToR-Down", "poisson p99", "VOQs"},
+	}
+	type variant struct {
+		name string
+		mut  func(*core.Config)
+	}
+	variants := []variant{
+		{"full design", func(*core.Config) {}},
+		{"no delayCredit", func(c *core.Config) { c.DelayCreditThresh = 1 << 40 }},
+		{"per-packet credits", func(c *core.Config) { c.Mode = core.Ideal; c.M = 0 }},
+		{"1-VOQ pool", func(c *core.Config) { c.MaxVOQs = 1 }},
+		{"no window (off)", nil},
+	}
+	for _, v := range variants {
+		tp := o.leafSpine()
+		var s Scheme
+		if v.mut == nil {
+			s = DCQCN(o)
+			s.Name = "DCQCN (no Floodgate)"
+		} else {
+			cfg := FloodgateConfig(o, baseBDPOf(tp))
+			if v.name == "per-packet credits" {
+				// Ideal credit timing but the practical window value: set
+				// M so m·BDP_nextHop equals BDP+C·T on the uplink.
+				up := findUplink(tp)
+				win := up.BDP() + units.BytesOver(up.Rate, cfg.CreditTimer)
+				cfg.Mode = core.Ideal
+				cfg.M = float64(win) / float64(up.BDP())
+				cfg.PerDstPause = false
+			}
+			v.mut(&cfg)
+			s = WithFloodgateCfg(DCQCN(o), cfg, "+FG["+v.name+"]")
+		}
+		res := runMixWith(o, tp, workload.WebServer, s)
+		_, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
+		t.AddRow(v.name,
+			fmtBytes(res.Stats.MaxSwitchBuffer()),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)),
+			fmtDur(p99),
+			fmt.Sprintf("%d", res.Stats.MaxVOQInUse))
+	}
+	t.Comment = "each mechanism earns its keep: delayCredit caps cores, aggregation saves bandwidth at equal buffers, the VOQ pool isolates concurrent incasts"
+	return []Table{t}
+}
+
+func findUplink(tp *topo.Topology) *topo.Port {
+	tor := tp.Node(tp.Hosts[0]).Ports[0].Peer
+	node := tp.Node(tor)
+	for i := range node.Ports {
+		if node.Ports[i].Class == topo.ClassToRUp {
+			return &node.Ports[i]
+		}
+	}
+	panic("no uplink")
+}
+
+// CompatMatrix runs the §8 compatibility claim: Floodgate layered
+// under four congestion controls, reporting that each pair keeps its
+// no-Floodgate FCT on pure Poisson traffic while cutting the incast
+// mix's victim tail.
+func CompatMatrix(o Options) []Table {
+	o = o.norm()
+	t := Table{
+		Title:  "Compatibility: Floodgate under four congestion controls (WebServer)",
+		Header: []string{"cc", "mix p99 (plain)", "mix p99 (+FG)", "pure p99 (plain)", "pure p99 (+FG)"},
+	}
+	bases := []func(Options) Scheme{DCQCN, DCTCP, TIMELY, HPCC}
+	for _, base := range bases {
+		tp := o.leafSpine()
+		bdp := baseBDPOf(tp)
+		plainMix := runMixWith(o, tp, workload.WebServer, base(o))
+		fgMix := runMixWith(o, o.leafSpine(), workload.WebServer, WithFloodgate(o, base(o), bdp))
+		purePlain := runPurePoisson(o, base(o))
+		pureFG := runPurePoisson(o, WithFloodgate(o, base(o), bdp))
+		_, pm := stats.FCTStats(plainMix.Stats.PoissonFCTs())
+		_, fm := stats.FCTStats(fgMix.Stats.PoissonFCTs())
+		_, pp := stats.FCTStats(purePlain.Stats.AllFCTs())
+		_, pf := stats.FCTStats(pureFG.Stats.AllFCTs())
+		t.AddRow(base(o).Name, fmtDur(pm), fmtDur(fm), fmtDur(pp), fmtDur(pf))
+	}
+	t.Comment = "Floodgate's isolation survives the CC swap (§8); pure-Poisson columns must match within noise"
+	return []Table{t}
+}
+
+func runPurePoisson(o Options, s Scheme) *RunResult {
+	tp := o.leafSpine()
+	dur := o.duration(fullIncastMixDuration)
+	hostRate := tp.Node(tp.Hosts[0]).Ports[0].Rate
+	specs := workload.Poisson(workload.PoissonConfig{
+		CDF: workload.WebServer, Load: 0.8, Hosts: tp.Hosts, HostRate: hostRate, Until: dur,
+	}, newRand(o.Seed))
+	return Run(RunConfig{Topo: tp, Scheme: s, Specs: specs, Duration: dur, Seed: o.Seed, Opt: o})
+}
+
+// IncastDegreeSweep explores how the win scales with fan-in — an
+// extension the paper's intro motivates but never plots.
+func IncastDegreeSweep(o Options) []Table {
+	o = o.norm()
+	t := Table{
+		Title:  "Extension: buffer relief vs incast degree (pure incast bursts)",
+		Header: []string{"degree", "DCQCN ToR-Down", "+FG ToR-Down", "relief"},
+	}
+	for _, frac := range []int{4, 2, 1} { // 1/4, 1/2, all cross-rack hosts
+		var plain, fg units.ByteSize
+		for _, withFG := range []bool{false, true} {
+			tp := o.leafSpine()
+			s := DCQCN(o)
+			if withFG {
+				s = WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
+			}
+			dst := tp.Hosts[len(tp.Hosts)-1]
+			senders := workload.CrossRackSenders(tp, dst)
+			n := len(senders) / frac
+			if n < 2 {
+				n = 2
+			}
+			r := newRand(o.Seed)
+			var specs []workload.FlowSpec
+			for i := 0; i < n; i++ {
+				size := 30*mtu + units.ByteSize(r.Int63n(int64(10*mtu)+1))
+				specs = append(specs, workload.FlowSpec{Src: senders[i], Dst: dst, Size: size, Cat: catIncast})
+			}
+			res := Run(RunConfig{
+				Topo: tp, Scheme: s, Specs: specs,
+				Duration: 2 * units.Millisecond, Seed: o.Seed, Opt: o,
+				Drain: 300 * units.Millisecond,
+			})
+			if withFG {
+				fg = res.Stats.MaxClassBuffer(topo.ClassToRDown)
+			} else {
+				plain = res.Stats.MaxClassBuffer(topo.ClassToRDown)
+			}
+		}
+		t.AddRow(fmt.Sprintf("1/%d of hosts", frac), fmtBytes(plain), fmtBytes(fg),
+			fmtRatio(float64(plain), float64(fg)))
+	}
+	t.Comment = "relief grows with fan-in: windows bound the last hop while DCQCN's occupancy tracks the burst size"
+	return []Table{t}
+}

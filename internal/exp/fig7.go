@@ -1,0 +1,26 @@
+package exp
+
+import (
+	"fmt"
+
+	"floodgate/internal/workload"
+)
+
+// Fig7 tabulates the four workloads' flow-size distributions at the
+// CDF knots the paper plots (no simulation involved).
+func Fig7(o Options) []Table {
+	t := Table{
+		Title:  "Fig 7: flow size distribution of typical workloads",
+		Header: []string{"workload", "p10", "p50", "p90", "p99", "mean"},
+	}
+	for _, c := range workload.Workloads {
+		t.AddRow(c.Name,
+			fmtBytes(c.Quantile(0.10)),
+			fmtBytes(c.Quantile(0.50)),
+			fmtBytes(c.Quantile(0.90)),
+			fmtBytes(c.Quantile(0.99)),
+			fmt.Sprintf("%.0fB", c.Mean()))
+	}
+	t.Comment = "paper: Memcached almost entirely <1KB; the other three are byte-dominated by a small fraction of large flows"
+	return []Table{t}
+}

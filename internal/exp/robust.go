@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"fmt"
+
+	"floodgate/internal/stats"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+	"floodgate/internal/workload"
+)
+
+// Fig12 reproduces the §6.2 loss-robustness experiment: Floodgate's
+// PSN/switchSYN recovery under 5% and 10% manufactured drops on
+// switch-to-switch links. Reported: delivered throughput over time —
+// the shape to check is that goodput stays near the lossless level.
+func Fig12(o Options) []Table {
+	o = o.norm()
+	t := Table{
+		Title:  "Fig 12: throughput under injected credit loss (DCQCN+Floodgate)",
+		Header: []string{"lossRate", "avg goodput", "vs lossless", "drops", "completed"},
+	}
+	var lossless float64
+	for _, loss := range []float64{0, 0.05, 0.10} {
+		tp := o.leafSpine()
+		dur := o.duration(fullIncastMixDuration)
+		specs := incastMixSpecs(tp, workload.WebServer, dur, o.Seed, incastDegree(tp))
+		res := Run(RunConfig{
+			Topo:   tp,
+			Scheme: WithFloodgate(o, DCQCN(o), baseBDPOf(tp)),
+			Specs:  specs, Duration: dur, Seed: o.Seed, Opt: o,
+			CreditLossRate: loss,
+			Drain:          10 * dur,
+		})
+		var rx units.ByteSize
+		for _, cat := range []stats.Category{stats.CatIncast, stats.CatVictimIncast, stats.CatVictimPFC} {
+			for _, b := range res.Stats.RxSeries(cat) {
+				rx += b
+			}
+		}
+		goodput := units.Rate(rx, dur)
+		if loss == 0 {
+			lossless = float64(goodput)
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", loss*100), fmtRate(goodput),
+			fmtRatio(float64(goodput), lossless),
+			fmt.Sprintf("%d", res.Stats.Drops),
+			fmt.Sprintf("%d/%d", res.Completed, res.Total))
+	}
+	t.Comment = "paper: 5% loss has no visible effect; 10% fluctuates slightly — switch windows recover via PSN credits"
+	return []Table{t}
+}
+
+// Fig13 reproduces the 8-ary fat-tree experiment: FCT for Memcached
+// and Hadoop plus Hadoop's per-hop buffer occupancy across the five
+// port classes.
+func Fig13(o Options) []Table {
+	o = o.norm()
+	tp := o.fatTree()
+	bdp := units.BDP(tp.Node(tp.Hosts[0]).Ports[0].Rate,
+		2*6*(tp.Node(tp.Hosts[0]).Ports[0].Prop+units.TxTime(mtu, tp.Node(tp.Hosts[0]).Ports[0].Rate)))
+	schemes := []Scheme{
+		DCQCN(o),
+		WithIdeal(o, DCQCN(o), bdp),
+		WithFloodgate(o, DCQCN(o), bdp),
+	}
+	fct := Table{
+		Title:  "Fig 13a: fat tree (k=8) avg/p99 FCT of Poisson flows",
+		Header: []string{"workload", "scheme", "avgFCT", "p99FCT"},
+	}
+	buf := Table{
+		Title:  "Fig 13b: fat tree per-hop max buffer — Hadoop",
+		Header: []string{"scheme", "Edge-Up", "Agg-Up", "Core", "Agg-Down", "Edge-Down"},
+	}
+	for _, cdf := range []*workload.CDF{workload.Memcached, workload.Hadoop} {
+		for _, s := range schemes {
+			res := runFatTreeMix(o, tp, cdf, s)
+			avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
+			fct.AddRow(cdf.Name, s.Name, fmtDur(avg), fmtDur(p99))
+			if cdf == workload.Hadoop {
+				buf.AddRow(s.Name,
+					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassAggUp)),
+					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassAggDown)),
+					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)))
+			}
+		}
+	}
+	fct.Comment = "paper: Floodgate still wins, by less than in 2-tier (fewer hosts per rack, fewer victims)"
+	buf.Comment = "paper: buffer shifts toward Edge-Up; aggregation points relieved"
+	return []Table{fct, buf}
+}
+
+func runFatTreeMix(o Options, tp *topo.Topology, cdf *workload.CDF, s Scheme) *RunResult {
+	dur := o.duration(fullIncastMixDuration)
+	specs := incastMixSpecs(tp, cdf, dur, o.Seed, incastDegree(tp))
+	return Run(RunConfig{
+		Topo: tp, Scheme: s, Specs: specs, Duration: dur,
+		Seed: o.Seed, Opt: o,
+	})
+}
+
+// Fig14 reproduces the ToR-scaling experiment: pure incast (every
+// cross-rack host sends one 30–40 MTU flow) as the fabric grows to
+// 20/40/60/80 ToRs. Reported: per-hop max buffer for DCQCN and
+// DCQCN+Floodgate.
+func Fig14(o Options) []Table {
+	o = o.norm()
+	var tables []Table
+	for _, fg := range []bool{false, true} {
+		name := "DCQCN"
+		if fg {
+			name = "DCQCN+Floodgate"
+		}
+		t := Table{
+			Title:  "Fig 14: buffer vs fabric size (pure incast) — " + name,
+			Header: []string{"#ToR", "ToR-Up", "Core", "ToR-Down", "maxSwitch"},
+		}
+		for _, tors := range []int{20, 40, 60, 80} {
+			c := topo.DefaultLeafSpine()
+			c.ToRs = tors
+			c.HostsPerToR = o.hostsPerToR()
+			c.Spines = o.spines()
+			c.HostRate = o.rate(c.HostRate)
+			c.SpineRate = o.rate(c.SpineRate)
+			c.Prop = o.stretch(c.Prop)
+			tp := c.Build()
+			s := DCQCN(o)
+			if fg {
+				s = WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
+			}
+			specs := pureIncastSpecs(tp, o.Seed)
+			res := Run(RunConfig{
+				Topo: tp, Scheme: s, Specs: specs,
+				Duration: 2 * units.Millisecond, Seed: o.Seed, Opt: o,
+				Drain: 100 * units.Millisecond,
+			})
+			t.AddRow(fmt.Sprintf("%d", tors),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)),
+				fmtBytes(res.Stats.MaxSwitchBuffer()))
+		}
+		t.Comment = "paper: DCQCN's ToR-Down grows with #flows (PFC at 20+ ToRs); Floodgate stays flat (delayCredit caps cores)"
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig15 reproduces successive incast: K back-to-back all-host incasts
+// to distinct destinations, comparing DCQCN, practical Floodgate and
+// Floodgate with per-dst PAUSE.
+func Fig15(o Options) []Table {
+	o = o.norm()
+	var tables []Table
+	mk := func(name string) func(tp *topo.Topology) Scheme {
+		return func(tp *topo.Topology) Scheme {
+			switch name {
+			case "DCQCN":
+				return DCQCN(o)
+			case "DCQCN+Floodgate":
+				return WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
+			default:
+				cfg := FloodgateConfig(o, baseBDPOf(tp))
+				cfg.PerDstPause = true
+				return WithFloodgateCfg(DCQCN(o), cfg, "+Floodgate (per-dst PAUSE)")
+			}
+		}
+	}
+	for _, name := range []string{"DCQCN", "DCQCN+Floodgate", "DCQCN+Floodgate (per-dst PAUSE)"} {
+		t := Table{
+			Title:  "Fig 15: successive incast — " + name,
+			Header: []string{"#incasts", "ToR-Up", "Core", "ToR-Down"},
+		}
+		for _, times := range []int{4, 8, 12, 16, 20, 24} {
+			tp := o.leafSpine()
+			s := mk(name)(tp)
+			hostRate := tp.Node(tp.Hosts[0]).Ports[0].Rate
+			// Gap = nominal drain time of one event, so events pile up.
+			event := units.ByteSize(len(tp.Hosts)-1) * 35 * mtu
+			gap := units.TxTime(event, hostRate) / 4 // successive: events arrive faster than they drain
+			specs := workload.SuccessiveIncast(tp.Hosts, times, gap, 30*mtu, 40*mtu, newRand(o.Seed))
+			res := Run(RunConfig{
+				Topo: tp, Scheme: s, Specs: specs,
+				Duration: units.Duration(times+2) * gap,
+				Drain:    200 * units.Millisecond,
+				Seed:     o.Seed, Opt: o,
+				BufferSize: stressBuffer(tp), // the storm regime (see stressBuffer)
+			})
+			t.AddRow(fmt.Sprintf("%d", times),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)))
+		}
+		t.Comment = "paper: DCQCN fills ToR-Down/Core (storm by 12 incasts); Floodgate's ToR-Up grows with #incasts; per-dst PAUSE keeps everything tiny"
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,284 @@
+package exp
+
+import (
+	"floodgate/internal/device"
+	"floodgate/internal/sim"
+	"floodgate/internal/stats"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+	"floodgate/internal/workload"
+)
+
+// Options scales every experiment between smoke-test and paper scale
+// using a "slow-motion" model: link rates shrink by Scale while
+// propagation delays and every protocol time constant stretch by
+// 1/Scale, so all byte-dimensioned quantities — BDPs, windows, ECN
+// thresholds, buffer sizes, flow sizes — stay at their paper values
+// and the buffer/FCT *shapes* are preserved. Rack width also shrinks
+// with Scale. Scale 1 is the paper's 160-host, 100/400 Gbps fabric.
+type Options struct {
+	// Scale in (0,1].
+	Scale float64
+	// Seed drives workload generation and every stochastic tie-break.
+	Seed uint64
+}
+
+// DefaultOptions returns a laptop-friendly scale.
+func DefaultOptions() Options { return Options{Scale: 0.25, Seed: 1} }
+
+func (o Options) norm() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.25
+	}
+	if o.Scale > 1 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// hostsPerToR maps scale to rack width (paper: 16). The floor of 6
+// keeps a rack's incast share (hosts × 35 MTU) above the per-dst
+// Floodgate window so source-side taming stays observable.
+func (o Options) hostsPerToR() int {
+	h := int(16*o.Scale + 0.5)
+	if h < 6 {
+		h = 6
+	}
+	return h
+}
+
+// rate scales a paper link rate down.
+func (o Options) rate(full units.BitRate) units.BitRate {
+	return units.BitRate(float64(full) * o.Scale)
+}
+
+// stretch expands a paper time constant (durations, timer periods).
+func (o Options) stretch(full units.Duration) units.Duration {
+	return units.Duration(float64(full) / o.Scale)
+}
+
+// windowOverride, when positive, replaces every experiment's workload
+// window. It exists for the test suite's smoke pass, which runs all
+// experiments on a budget; production paths never set it.
+var windowOverride units.Duration
+
+// duration is the workload window. It stays at the paper's wall-clock
+// value at every scale: with the slow-motion clock this covers fewer
+// (but still hundreds of) RTTs, keeping total event counts roughly
+// proportional to Scale².
+func (o Options) duration(full units.Duration) units.Duration {
+	if windowOverride > 0 {
+		return windowOverride
+	}
+	return full
+}
+
+// spines scales the core layer with rack width, exactly preserving the
+// paper's non-blocking ratio (16 hosts × 100G = 4 spines × 400G): one
+// spine per four hosts per rack. Fewer spines also shrink the
+// aggregate of per-spine Floodgate windows, keeping the mechanism's
+// engagement condition scale-invariant.
+func (o Options) spines() int {
+	h := o.hostsPerToR()
+	s := (h + 3) / 4
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// bufferSize scales the 20MB shared switch buffer with rack width so
+// the buffer-pressure ratio (offered incast bytes vs buffer) matches
+// the paper's.
+func (o Options) bufferSize() units.ByteSize {
+	return units.ByteSize(float64(20*units.MB) * float64(o.hostsPerToR()) / 16)
+}
+
+// leafSpine builds the §6 fabric at this scale.
+func (o Options) leafSpine() *topo.Topology {
+	c := topo.DefaultLeafSpine()
+	c.HostsPerToR = o.hostsPerToR()
+	c.Spines = o.spines()
+	c.HostRate = o.rate(c.HostRate)
+	c.SpineRate = o.rate(c.SpineRate)
+	c.Prop = o.stretch(c.Prop)
+	return c.Build()
+}
+
+// fatTree builds the §6.2 8-ary fabric at this scale.
+func (o Options) fatTree() *topo.Topology {
+	c := topo.DefaultFatTree()
+	c.Rate = o.rate(c.Rate)
+	c.Prop = o.stretch(c.Prop)
+	h := int(4*o.Scale + 0.5)
+	if h < 2 {
+		h = 2
+	}
+	c.HostsPerEdge = h
+	return c.Build()
+}
+
+// RunConfig assembles one simulation run.
+type RunConfig struct {
+	Topo     *topo.Topology
+	Scheme   Scheme
+	Specs    []workload.FlowSpec
+	Duration units.Duration // workload window; the run drains afterwards
+	Drain    units.Duration // extra time allowed for completions (default 4x)
+	Seed     uint64
+	Opt      Options // supplies the time-stretch for protocol timers
+
+	BufferSize     units.ByteSize
+	PFCOff         bool
+	LossRate       float64
+	CreditLossRate float64
+	ECN            *device.ECNConfig // override scheme default
+	BinWidth       units.Duration
+}
+
+// RunResult carries the collector plus run metadata.
+type RunResult struct {
+	Scheme    string
+	Stats     *stats.Collector
+	Net       *device.Network
+	Duration  units.Duration // workload window
+	Completed int
+	Total     int
+}
+
+// Run executes one configured simulation: install the workload, run
+// the workload window plus drain time (stopping early once every flow
+// completes), close open statistics, and report.
+func Run(rc RunConfig) *RunResult {
+	eng := sim.NewEngine()
+	binW := rc.BinWidth
+	if binW == 0 {
+		binW = 10 * units.Microsecond
+	}
+	col := stats.NewCollector(binW)
+	ecn := device.ECNConfig{Enable: rc.Scheme.ECN, KMin: 40 * units.KB, KMax: 160 * units.KB, PMax: 0.2}
+	if rc.ECN != nil {
+		ecn = *rc.ECN
+	}
+	opt := rc.Opt.norm()
+	cfg := device.Config{
+		Topo:           rc.Topo,
+		Engine:         eng,
+		Stats:          col,
+		Rand:           sim.NewRand(rc.Seed ^ 0x5eed),
+		BufferSize:     rc.BufferSize,
+		RTO:            opt.stretch(units.Millisecond),
+		CNPInterval:    opt.stretch(50 * units.Microsecond),
+		PFC:            device.PFCConfig{Enable: !rc.PFCOff && !rc.Scheme.NDP, Alpha: 2},
+		ECN:            ecn,
+		INT:            rc.Scheme.INT,
+		CC:             rc.Scheme.CC,
+		FC:             rc.Scheme.FC,
+		QueuesPerPort:  rc.Scheme.QueuesPerPort,
+		PerDstPause:    rc.Scheme.PerDstPause,
+		LossRate:       rc.LossRate,
+		CreditLossRate: rc.CreditLossRate,
+	}
+	if rc.Scheme.NDP {
+		cfg.NDP = device.NDPConfig{Enable: true}
+	}
+	if cfg.BufferSize == 0 {
+		cfg.BufferSize = opt.bufferSize()
+	}
+	net := device.New(cfg)
+
+	// Flows are injected progressively (not pre-scheduled) so the event
+	// heap stays shallow even for millions of arrivals.
+	total := len(rc.Specs)
+	remaining := total
+	injected := false
+	net.OnFlowDone = func(*device.Flow, units.Time) {
+		remaining--
+		if remaining == 0 && injected {
+			eng.Stop()
+		}
+	}
+	specs := rc.Specs
+	idx := 0
+	var inject func()
+	inject = func() {
+		now := eng.Now()
+		for idx < len(specs) && specs[idx].Start <= now {
+			s := specs[idx]
+			net.AddFlow(s.Src, s.Dst, s.Size, now, s.Cat)
+			idx++
+		}
+		if idx < len(specs) {
+			eng.At(specs[idx].Start, inject)
+		} else {
+			injected = true
+			if remaining == 0 {
+				eng.Stop()
+			}
+		}
+	}
+	if len(specs) > 0 {
+		eng.At(specs[0].Start, inject)
+	} else {
+		injected = true
+	}
+
+	drain := rc.Drain
+	if drain == 0 {
+		// DCQCN's additive recovery is slow on the stretched clock;
+		// leave generous room for laggards (the run stops early the
+		// moment every flow completes, so idle drain costs nothing).
+		drain = 4*rc.Duration + 400*units.Millisecond
+	}
+	net.Run(units.Time(rc.Duration + drain))
+	net.Finalize()
+	return &RunResult{
+		Scheme:    rc.Scheme.Name,
+		Stats:     col,
+		Net:       net,
+		Duration:  rc.Duration,
+		Completed: total - remaining,
+		Total:     total,
+	}
+}
+
+// incastMixSpecs builds the paper's default §6 workload: Poisson
+// background at 0.8 load over the given CDF, plus periodic 30–40 MTU
+// incast at destination load 0.5, victims categorised by rack.
+func incastMixSpecs(tp *topo.Topology, cdf *workload.CDF, dur units.Duration, seed uint64, degree int) []workload.FlowSpec {
+	r := sim.NewRand(seed)
+	hostRate := tp.Node(tp.Hosts[0]).Ports[0].Rate
+	dst := tp.Hosts[len(tp.Hosts)-1]
+	poisson := workload.Poisson(workload.PoissonConfig{
+		CDF: cdf, Load: 0.8,
+		Hosts: tp.Hosts, HostRate: hostRate,
+		ExcludeDst: map[topoNodeID]bool{dst: true},
+		Until:      dur,
+		Categorize: workload.RackVictimCategorizer(tp, dst),
+	}, r.Fork())
+	incast := workload.Incast(workload.IncastConfig{
+		Dst: dst, Senders: workload.CrossRackSenders(tp, dst),
+		Degree: degree, MinSize: 30 * mtu, MaxSize: 40 * mtu,
+		Load: 0.5, DstRate: hostRate, Until: dur,
+	}, r.Fork())
+	return workload.Merge(poisson, incast)
+}
+
+// pureIncastSpecs: every host outside dst's rack sends one 30–40 MTU
+// flow at t=0 (Fig 14).
+func pureIncastSpecs(tp *topo.Topology, seed uint64) []workload.FlowSpec {
+	r := sim.NewRand(seed)
+	dst := tp.Hosts[len(tp.Hosts)-1]
+	var specs []workload.FlowSpec
+	for _, src := range workload.CrossRackSenders(tp, dst) {
+		size := 30*mtu + units.ByteSize(r.Int63n(int64(10*mtu)+1))
+		specs = append(specs, workload.FlowSpec{Src: src, Dst: dst, Size: size, Cat: catIncast})
+	}
+	return specs
+}
+
+// newRand builds a seeded source (exp helpers).
+func newRand(seed uint64) *sim.Rand { return sim.NewRand(seed) }

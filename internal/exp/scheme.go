@@ -1,0 +1,145 @@
+// Package exp is the benchmark harness: one runner per table and
+// figure in the paper's evaluation (§5.2, §6, appendices), each
+// assembling topology + workload + scheme, running the simulator, and
+// reducing the collector into the same rows/series the paper reports.
+//
+// Schemes are constructed against an Options value because the
+// slow-motion scale model stretches every protocol time constant
+// (DCQCN timers, Floodgate's credit timer, CNP pacing) by 1/Scale.
+package exp
+
+import (
+	"fmt"
+
+	"floodgate/internal/bfc"
+	"floodgate/internal/cc"
+	"floodgate/internal/cc/dcqcn"
+	"floodgate/internal/cc/dctcp"
+	"floodgate/internal/cc/hpcc"
+	"floodgate/internal/cc/timely"
+	"floodgate/internal/core"
+	"floodgate/internal/device"
+	"floodgate/internal/pfctag"
+	"floodgate/internal/units"
+)
+
+// Scheme is a complete transport/flow-control configuration.
+type Scheme struct {
+	Name string
+
+	CC  cc.Factory
+	INT bool // HPCC telemetry
+	ECN bool // DCQCN marking
+
+	FC            device.FCFactory
+	QueuesPerPort int
+	PerDstPause   bool
+	NDP           bool
+}
+
+// dcqcnConfigScaled returns the DCQCN binding with timers stretched to
+// the scale's slow-motion clock.
+func dcqcnConfigScaled(o Options) dcqcn.Config {
+	o = o.norm()
+	cfg := dcqcn.DefaultConfig()
+	cfg.AlphaInterval = o.stretch(cfg.AlphaInterval)
+	cfg.RateIncInterval = o.stretch(cfg.RateIncInterval)
+	cfg.DecreaseMinGap = o.stretch(cfg.DecreaseMinGap)
+	cfg.RateAI = o.rate(cfg.RateAI)
+	cfg.RateHAI = o.rate(cfg.RateHAI)
+	return cfg
+}
+
+// dcqcnNew re-exports the factory for experiment-local overrides.
+var dcqcnNew = dcqcn.New
+
+// DCQCN returns plain DCQCN (ECN marking, CNP reaction) with timers
+// stretched to the scale's slow-motion clock.
+func DCQCN(o Options) Scheme {
+	return Scheme{Name: "DCQCN", CC: dcqcn.New(dcqcnConfigScaled(o)), ECN: true}
+}
+
+// DCTCP returns window-based DCTCP (ECN-fraction reaction, §8's third
+// ECN-signal congestion control).
+func DCTCP(o Options) Scheme {
+	return Scheme{Name: "DCTCP", CC: dctcp.Default(), ECN: true}
+}
+
+// TIMELY returns plain TIMELY; its thresholds derive from the base
+// RTT, which the slow-motion model stretches automatically.
+func TIMELY(o Options) Scheme {
+	return Scheme{Name: "TIMELY", CC: timely.Default()}
+}
+
+// HPCC returns plain HPCC (INT driven); its reference window derives
+// from base RTT × line rate, which is scale-invariant.
+func HPCC(o Options) Scheme {
+	return Scheme{Name: "HPCC", CC: hpcc.Default(), INT: true}
+}
+
+// NDP returns the receiver-driven NDP baseline (cut-payload trimming).
+func NDP(o Options) Scheme {
+	return Scheme{Name: "NDP", CC: cc.NewFixedWindow(), NDP: true}
+}
+
+// FloodgateConfig returns the §6 practical binding: T = 10 µs,
+// thre_credit = 10 base BDP, 100 VOQs. The credit timer deliberately
+// stays at its wall-clock value across scales: the window's C_out·T
+// term then shrinks with the scaled link rate, preserving the paper's
+// ratio between per-dst windows and a rack's incast share (the
+// engagement condition of the mechanism). The relative credit-packet
+// overhead is higher at small scale as a result; EXPERIMENTS.md notes
+// this where it shows.
+func FloodgateConfig(o Options, baseBDP units.ByteSize) core.Config {
+	return core.DefaultConfig(baseBDP)
+}
+
+// IdealFloodgateConfig returns the strawman binding (per-packet
+// credits, m·BDP windows, per-dst PAUSE).
+func IdealFloodgateConfig(o Options, baseBDP units.ByteSize) core.Config {
+	return core.IdealConfig(baseBDP)
+}
+
+// WithFloodgate layers practical Floodgate over a scheme.
+func WithFloodgate(o Options, s Scheme, baseBDP units.ByteSize) Scheme {
+	return WithFloodgateCfg(s, FloodgateConfig(o, baseBDP), "+Floodgate")
+}
+
+// WithIdeal layers strawman Floodgate over a scheme.
+func WithIdeal(o Options, s Scheme, baseBDP units.ByteSize) Scheme {
+	return WithFloodgateCfg(s, IdealFloodgateConfig(o, baseBDP), "+ideal")
+}
+
+// WithFloodgateCfg layers an explicit Floodgate config (sweeps).
+func WithFloodgateCfg(s Scheme, cfg core.Config, suffix string) Scheme {
+	s.Name += suffix
+	s.FC = core.New(cfg)
+	s.PerDstPause = cfg.PerDstPause
+	return s
+}
+
+// BFC returns the BFC baseline over `queues` physical queues per port
+// (32/128), or per-flow queues when ideal.
+func BFC(queues int, ideal bool, pauseThresh units.ByteSize) Scheme {
+	name := "BFC-ideal"
+	qpp := 1024
+	if !ideal {
+		name = fmt.Sprintf("BFC-%dQ", queues)
+		qpp = queues
+	}
+	return Scheme{
+		Name:          name,
+		CC:            cc.NewFixedWindow(),
+		FC:            bfc.New(bfc.Config{NumQueues: queues, Ideal: ideal, PauseThresh: pauseThresh}),
+		QueuesPerPort: qpp,
+	}
+}
+
+// WithPFCTag layers the PFC w/ tag derivative over a scheme
+// (Appendix B).
+func WithPFCTag(s Scheme, oneHopBDP units.ByteSize) Scheme {
+	s.Name += "+PFC w/ tag"
+	s.FC = pfctag.New(pfctag.DefaultConfig(oneHopBDP))
+	s.PerDstPause = true
+	return s
+}

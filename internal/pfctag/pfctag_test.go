@@ -1,0 +1,128 @@
+package pfctag_test
+
+import (
+	"testing"
+
+	"floodgate/internal/cc"
+	"floodgate/internal/device"
+	"floodgate/internal/packet"
+	"floodgate/internal/pfctag"
+	"floodgate/internal/sim"
+	"floodgate/internal/stats"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+)
+
+func tagNet(thresh units.ByteSize, pauseHosts bool) (*device.Network, *topo.Topology) {
+	tp := topo.LeafSpineConfig{
+		Spines: 2, ToRs: 3, HostsPerToR: 8,
+		HostRate: 10 * units.Gbps, SpineRate: 40 * units.Gbps,
+		Prop: 600 * units.Nanosecond,
+	}.Build()
+	cfg := device.Config{
+		Topo:        tp,
+		Engine:      sim.NewEngine(),
+		Stats:       stats.NewCollector(10 * units.Microsecond),
+		Rand:        sim.NewRand(5),
+		PFC:         device.PFCConfig{Enable: true, Alpha: 2},
+		CC:          cc.NewFixedWindow(),
+		PerDstPause: pauseHosts,
+		FC: pfctag.New(pfctag.Config{
+			PauseThresh: thresh, ResumeThresh: thresh / 2, PauseHosts: pauseHosts,
+		}),
+	}
+	return device.New(cfg), tp
+}
+
+func TestTagIncastCompletes(t *testing.T) {
+	n, tp := tagNet(20*packet.MTU, true)
+	dst := tp.Hosts[len(tp.Hosts)-1]
+	var flows []*device.Flow
+	for i := 0; i < 16; i++ {
+		flows = append(flows, n.AddFlow(tp.Hosts[i], dst, 100*units.KB, 0, packet.CatIncast))
+	}
+	n.Run(units.Time(500 * units.Millisecond))
+	for i, f := range flows {
+		if !f.Done() {
+			t.Fatalf("flow %d incomplete under PFC w/ tag", i)
+		}
+	}
+	if n.Stats.Drops != 0 {
+		t.Fatalf("drops: %d", n.Stats.Drops)
+	}
+}
+
+func TestTagBoundsLastHop(t *testing.T) {
+	run := func(withTag bool) units.ByteSize {
+		var n *device.Network
+		var tp *topo.Topology
+		if withTag {
+			n, tp = tagNet(10*packet.MTU, true)
+		} else {
+			tp = topo.LeafSpineConfig{
+				Spines: 2, ToRs: 3, HostsPerToR: 8,
+				HostRate: 10 * units.Gbps, SpineRate: 40 * units.Gbps,
+				Prop: 600 * units.Nanosecond,
+			}.Build()
+			n = device.New(device.Config{
+				Topo: tp, Engine: sim.NewEngine(),
+				Stats: stats.NewCollector(10 * units.Microsecond),
+				Rand:  sim.NewRand(5),
+				PFC:   device.PFCConfig{Enable: true, Alpha: 2},
+				CC:    cc.NewFixedWindow(),
+			})
+		}
+		dst := tp.Hosts[len(tp.Hosts)-1]
+		var flows []*device.Flow
+		for i := 0; i < 16; i++ {
+			flows = append(flows, n.AddFlow(tp.Hosts[i], dst, 100*units.KB, 0, packet.CatIncast))
+		}
+		n.Run(units.Time(500 * units.Millisecond))
+		for _, f := range flows {
+			if !f.Done() {
+				t.Fatal("flow incomplete")
+			}
+		}
+		return n.Stats.MaxClassBuffer(topo.ClassToRDown)
+	}
+	with := run(true)
+	without := run(false)
+	if with >= without {
+		t.Fatalf("PFC w/ tag did not bound the last hop: %v vs %v", with, without)
+	}
+}
+
+func TestTagUsesManyVOQs(t *testing.T) {
+	// The paper's Appendix B point: the reactive scheme parks many more
+	// destinations than Floodgate's proactive window does. Two parallel
+	// incasts with small thresholds should occupy at least two VOQs.
+	n, tp := tagNet(4*packet.MTU, true)
+	d1 := tp.Hosts[len(tp.Hosts)-1]
+	d2 := tp.Hosts[len(tp.Hosts)-2]
+	var flows []*device.Flow
+	for i := 0; i < 8; i++ {
+		flows = append(flows, n.AddFlow(tp.Hosts[i], d1, 80*units.KB, 0, packet.CatIncast))
+		flows = append(flows, n.AddFlow(tp.Hosts[8+i], d2, 80*units.KB, 0, packet.CatIncast))
+	}
+	n.Run(units.Time(500 * units.Millisecond))
+	for i, f := range flows {
+		if !f.Done() {
+			t.Fatalf("flow %d incomplete", i)
+		}
+	}
+	if n.Stats.MaxVOQInUse < 2 {
+		t.Fatalf("expected >=2 VOQs in use, got %d", n.Stats.MaxVOQInUse)
+	}
+}
+
+func TestTagNonIncastUnaffected(t *testing.T) {
+	n, tp := tagNet(20*packet.MTU, true)
+	f := n.AddFlow(tp.Hosts[0], tp.Hosts[10], 200*units.KB, 0, packet.CatVictimPFC)
+	n.Run(units.Time(100 * units.Millisecond))
+	if !f.Done() {
+		t.Fatal("lone flow incomplete")
+	}
+	if n.Stats.MaxVOQInUse != 0 {
+		t.Fatalf("lone flow parked in a VOQ (%d)", n.Stats.MaxVOQInUse)
+	}
+}

@@ -1,0 +1,270 @@
+// Package sim is the discrete-event core of the simulator: a
+// monotonically advancing picosecond clock, a binary-heap event queue
+// with deterministic FIFO tie-breaking, cancellable timers, and a
+// seedable pseudo-random source. Everything above this package —
+// links, switches, hosts, protocols — is driven exclusively by events
+// scheduled here, so a run is a pure function of (configuration, seed).
+//
+// Performance: events are pooled and recycled (a simulation of tens of
+// millions of packets allocates only a high-water mark of events), and
+// the AtArg/AfterArg variants let hot paths schedule a pre-built
+// capture-free callback with a pointer argument, avoiding per-packet
+// closure allocation.
+package sim
+
+import (
+	"fmt"
+
+	"floodgate/internal/units"
+)
+
+// event payloads live in a slab indexed by slot; the priority queue
+// itself holds only pointer-free entries, so sift operations incur no
+// GC write barriers and no slab write-backs. Cancellation is lazy: a
+// cancelled slot's generation advances and its heap entry is skipped
+// when it surfaces.
+type event struct {
+	fn    func()
+	argFn func(any)
+	arg   any
+	gen   uint32 // incremented on recycle; invalidates stale Handles/entries
+}
+
+type heapEnt struct {
+	at   units.Time
+	seq  uint64
+	slot int32
+	gen  uint32
+}
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is inert: Cancel on it is a no-op and Active reports false.
+// Handles remain safe after the event fires: the generation check
+// prevents a recycled slot from being cancelled by a stale handle.
+type Handle struct {
+	e    *Engine
+	slot int32
+	gen  uint32
+}
+
+// Active reports whether the event is still pending.
+func (h Handle) Active() bool {
+	return h.e != nil && h.e.events[h.slot].gen == h.gen
+}
+
+// Engine owns the simulation clock and event queue. It is not safe for
+// concurrent use: the simulated network is a single logical timeline.
+type Engine struct {
+	now     units.Time
+	seq     uint64
+	heap    []heapEnt
+	events  []event
+	free    []int32
+	stopped bool
+
+	// Processed counts events executed since creation (for reporting).
+	Processed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() units.Time { return e.now }
+
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	e.events = append(e.events, event{})
+	return int32(len(e.events) - 1)
+}
+
+func (e *Engine) recycle(slot int32) {
+	ev := &e.events[slot]
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	ev.gen++
+	e.free = append(e.free, slot)
+}
+
+func (e *Engine) schedule(t units.Time, fn func(), argFn func(any), arg any) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
+	}
+	slot := e.alloc()
+	ev := &e.events[slot]
+	ev.fn = fn
+	ev.argFn = argFn
+	ev.arg = arg
+	gen := ev.gen
+	ent := heapEnt{at: t, seq: e.seq, slot: slot, gen: gen}
+	e.seq++
+	e.push(ent)
+	return Handle{e, slot, gen}
+}
+
+// At schedules fn to run at absolute time t, which must not precede
+// the current time.
+func (e *Engine) At(t units.Time, fn func()) Handle { return e.schedule(t, fn, nil, nil) }
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d units.Duration, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.schedule(e.now.Add(d), fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute time t. fn should be a pre-built
+// capture-free function so the call allocates nothing (a pointer in
+// arg does not box).
+func (e *Engine) AtArg(t units.Time, fn func(any), arg any) Handle {
+	return e.schedule(t, nil, fn, arg)
+}
+
+// AfterArg schedules fn(arg) d after the current time.
+func (e *Engine) AfterArg(d units.Duration, fn func(any), arg any) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.schedule(e.now.Add(d), nil, fn, arg)
+}
+
+// Cancel removes a pending event (lazily: its heap entry is skipped
+// when it surfaces). Cancelling an already-fired, already-cancelled,
+// or zero handle is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if !h.Active() {
+		return
+	}
+	e.recycle(h.slot)
+}
+
+// Stop makes Run return after the event currently executing completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of live events still queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ent := range e.heap {
+		if e.events[ent.slot].gen == ent.gen {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes events in timestamp order until the queue empties, Stop
+// is called, or the next event would fire after `until`. The clock is
+// left at `until` when the run reaches it, or at the last executed
+// event's time when stopped.
+func (e *Engine) Run(until units.Time) {
+	e.stopped = false
+	for !e.stopped && len(e.heap) > 0 {
+		if e.heap[0].at > until {
+			e.now = until
+			return
+		}
+		e.step()
+	}
+	if !e.stopped && e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes every event until the queue drains or Stop is called.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for !e.stopped && len(e.heap) > 0 {
+		e.step()
+	}
+}
+
+func (e *Engine) step() {
+	ent := e.heap[0]
+	e.popRoot()
+	ev := &e.events[ent.slot]
+	if ev.gen != ent.gen {
+		return // lazily cancelled
+	}
+	e.now = ent.at
+	e.Processed++
+	fn, argFn, arg := ev.fn, ev.argFn, ev.arg
+	e.recycle(ent.slot)
+	if fn != nil {
+		fn()
+	} else if argFn != nil {
+		argFn(arg)
+	}
+}
+
+// less orders entries by (time, schedule sequence).
+func (e *Engine) less(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+const heapArity = 4
+
+func (e *Engine) push(ent heapEnt) {
+	e.heap = append(e.heap, ent)
+	e.up(len(e.heap) - 1)
+}
+
+// popRoot removes the minimum entry.
+func (e *Engine) popRoot() {
+	n := len(e.heap) - 1
+	if n > 0 {
+		e.heap[0] = e.heap[n]
+	}
+	e.heap = e.heap[:n]
+	if n > 1 {
+		e.down(0)
+	}
+}
+
+func (e *Engine) up(i int) {
+	ent := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.less(ent, e.heap[parent]) {
+			break
+		}
+		e.heap[i] = e.heap[parent]
+		i = parent
+	}
+	e.heap[i] = ent
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	ent := e.heap[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !e.less(e.heap[best], ent) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		i = best
+	}
+	e.heap[i] = ent
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"floodgate/internal/units"
+)
+
+func TestAtArgDelivery(t *testing.T) {
+	e := NewEngine()
+	type box struct{ v int }
+	b := &box{}
+	e.AtArg(5, func(a any) { a.(*box).v = 42 }, b)
+	e.RunAll()
+	if b.v != 42 {
+		t.Fatal("AtArg callback not delivered")
+	}
+}
+
+func TestAfterArgNegativePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AfterArg did not panic")
+		}
+	}()
+	e.AfterArg(-1, func(any) {}, nil)
+}
+
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	// A handle to an event that already fired must never cancel a new
+	// event that reuses the same slot.
+	e := NewEngine()
+	h1 := e.At(1, func() {})
+	e.RunAll() // fires and recycles the slot
+	fired := false
+	h2 := e.At(2, func() { fired = true })
+	if h1.Active() {
+		t.Fatal("stale handle reports active")
+	}
+	e.Cancel(h1) // must be a no-op
+	if !h2.Active() {
+		t.Fatal("fresh handle should be active")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("stale cancel killed a recycled slot's new event")
+	}
+}
+
+func TestLazyCancelSkipsWithoutExecuting(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	h := e.At(5, func() { fired++ })
+	e.At(5, func() { fired++ })
+	e.Cancel(h)
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Processed != 1 {
+		t.Fatalf("Processed = %d, want 1 (cancelled entries don't count)", e.Processed)
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	h := e.At(5, func() {})
+	e.At(6, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Cancel(h)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d", e.Pending())
+	}
+}
+
+func TestCancelAndRescheduleStorm(t *testing.T) {
+	// Exercises slot reuse under heavy cancel/reschedule churn (the RTO
+	// pattern) and checks no event is lost or duplicated.
+	e := NewEngine()
+	fired := 0
+	var h Handle
+	for i := 0; i < 10000; i++ {
+		e.Cancel(h)
+		h = e.At(units.Time(i+1), func() { fired++ })
+	}
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want exactly the last scheduled event", fired)
+	}
+}
+
+func TestEventPoolReuse(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 10; i++ {
+			e.After(units.Duration(i), func() {})
+		}
+		e.RunAll()
+	}
+	if len(e.events) > 64 {
+		t.Fatalf("event slab grew to %d despite pooling", len(e.events))
+	}
+}
+
+func TestInterleavedCancelProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		e := NewEngine()
+		var handles []Handle
+		expected := 0
+		fired := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1:
+				h := e.After(units.Duration(op)+1, func() { fired++ })
+				handles = append(handles, h)
+				expected++
+			case 2:
+				if len(handles) > 0 {
+					h := handles[len(handles)-1]
+					handles = handles[:len(handles)-1]
+					if h.Active() {
+						e.Cancel(h)
+						expected--
+					}
+				}
+			}
+		}
+		e.RunAll()
+		return fired == expected
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

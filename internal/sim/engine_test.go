@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"floodgate/internal/units"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(30, func() { order = append(order, 3) })
+	e.After(10, func() { order = append(order, 1) })
+	e.After(20, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(units.Time(5), func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at equal time fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.Run(15)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("Now() = %v, want 15", e.Now())
+	}
+	e.Run(25)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestRunAdvancesClockToUntilWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.Run(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.At(10, func() { fired = true })
+	if !h.Active() {
+		t.Fatal("handle should be active before firing")
+	}
+	e.Cancel(h)
+	if h.Active() {
+		t.Fatal("handle should be inactive after cancel")
+	}
+	e.Cancel(h) // double cancel is a no-op
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelZeroHandle(t *testing.T) {
+	e := NewEngine()
+	e.Cancel(Handle{}) // must not panic
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var handles []Handle
+	for i := 0; i < 50; i++ {
+		i := i
+		handles = append(handles, e.At(units.Time(i), func() { got = append(got, i) }))
+	}
+	// Cancel every third event.
+	want := []int{}
+	for i := 0; i < 50; i++ {
+		if i%3 == 0 {
+			e.Cancel(handles[i])
+		} else {
+			want = append(want, i)
+		}
+	}
+	e.RunAll()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSchedulingDuringRun(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(10, func() {
+		order = append(order, "a")
+		e.After(5, func() { order = append(order, "b") })
+		e.After(0, func() { order = append(order, "now") })
+	})
+	e.RunAll()
+	if len(order) != 3 || order[0] != "a" || order[1] != "now" || order[2] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.RunAll()
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, func() { fired++; e.Stop() })
+	e.At(2, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+}
+
+func TestHeapPropertyRandomised(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []units.Time
+		for _, d := range delays {
+			e.At(units.Time(d), func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	r := NewRand(7)
+	const n = 200000
+	sum := 0.0
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+		buckets[int(v*10)]++
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+	for i, c := range buckets {
+		if c < n/10-n/100 || c > n/10+n/100 {
+			t.Fatalf("bucket %d count %d deviates from uniform", i, c)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRand(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.98 || mean > 1.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered %d values", len(seen))
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRand(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRand(9)
+	f1 := r.Fork()
+	v1 := f1.Uint64()
+	// Re-create and consume differently: fork stream should not depend on
+	// later parent consumption.
+	r2 := NewRand(9)
+	f2 := r2.Fork()
+	r2.Uint64()
+	if f2.Uint64() != v1 {
+		t.Fatal("fork stream changed by parent consumption after fork")
+	}
+}

@@ -1,0 +1,387 @@
+// Package stats collects everything the paper's evaluation reports:
+// flow completion times by traffic category, maximum buffer occupancy
+// per switch and per port class, PFC pause time per fabric layer,
+// per-hop queuing delay, throughput and bandwidth-breakdown time
+// series, control/credit overhead, drops and retransmissions. The
+// collector is updated synchronously from the single-threaded event
+// loop; no locking.
+package stats
+
+import (
+	"sort"
+
+	"floodgate/internal/packet"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+)
+
+// Category re-exports the flow category carried on packets.
+type Category = packet.Category
+
+// Flow categories.
+const (
+	CatIncast       = packet.CatIncast
+	CatVictimIncast = packet.CatVictimIncast
+	CatVictimPFC    = packet.CatVictimPFC
+	NumCategories   = packet.NumCategories
+)
+
+// WireClass buckets on-wire bytes for the Fig 18 stacking diagram.
+type WireClass uint8
+
+// Wire classes.
+const (
+	WireData   WireClass = iota // data segments (incl. retransmissions)
+	WireCtrl                    // ACKs, CNPs, NACKs, pulls, pauses
+	WireCredit                  // Floodgate credits and switchSYNs
+	NumWireClasses
+)
+
+var wireNames = [NumWireClasses]string{"data", "ctrl", "credit"}
+
+func (c WireClass) String() string { return wireNames[c] }
+
+// FCTSample records one completed flow.
+type FCTSample struct {
+	Flow     uint64
+	Cat      Category
+	Size     units.ByteSize
+	Start    units.Time
+	Finish   units.Time
+	FCT      units.Duration
+	Slowdown float64 // FCT / ideal transfer time at host line rate
+}
+
+// Collector accumulates a simulation run's measurements.
+type Collector struct {
+	binWidth units.Duration
+
+	fcts [NumCategories][]FCTSample
+
+	// Buffer occupancy maxima.
+	maxSwitchBuf   map[int32]units.ByteSize // per switch node
+	maxPortBuf     map[portKey]units.ByteSize
+	maxClassBuf    [topo.NumPortClasses]units.ByteSize
+	maxNetSwitch   units.ByteSize // max over switches of per-switch max
+	curSwitchTotal map[int32]units.ByteSize
+
+	// Buffer occupancy time series per port class (Fig 16): sampled as a
+	// running max within each bin.
+	bufSeries [topo.NumPortClasses][]units.ByteSize
+
+	// PFC pause time per layer and pause event count.
+	pfcPause  [4]units.Duration // indexed by topo.Layer
+	pfcEvents int
+
+	// Per-hop queuing delay of non-incast data packets.
+	queueDelaySum   [topo.NumPortClasses]units.Duration
+	queueDelayCount [topo.NumPortClasses]int64
+
+	// Received-byte time series per category (Fig 2) and wire-byte time
+	// series per wire class summed over switch egress ports (Fig 18).
+	rxSeries   [NumCategories][]units.ByteSize
+	wireSeries [NumWireClasses][]units.ByteSize
+	wireTotal  [NumWireClasses]units.ByteSize
+
+	Drops       int64
+	Trims       int64
+	Retransmits int64
+
+	// MaxVOQInUse is the peak number of simultaneously occupied VOQs on
+	// any one switch (reported by the Floodgate module).
+	MaxVOQInUse int
+}
+
+type portKey struct {
+	node int32
+	port int32
+}
+
+// NewCollector returns a collector with the given time-series bin width.
+func NewCollector(binWidth units.Duration) *Collector {
+	if binWidth <= 0 {
+		binWidth = 10 * units.Microsecond
+	}
+	return &Collector{
+		binWidth:       binWidth,
+		maxSwitchBuf:   make(map[int32]units.ByteSize),
+		maxPortBuf:     make(map[portKey]units.ByteSize),
+		curSwitchTotal: make(map[int32]units.ByteSize),
+	}
+}
+
+// BinWidth returns the time-series bin width.
+func (c *Collector) BinWidth() units.Duration { return c.binWidth }
+
+func (c *Collector) bin(t units.Time) int { return int(int64(t) / int64(c.binWidth)) }
+
+func grow(s []units.ByteSize, idx int) []units.ByteSize {
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// FlowDone records a completed flow. lineRate is the destination host
+// link rate, used for the slowdown normalisation.
+func (c *Collector) FlowDone(flow uint64, cat Category, size units.ByteSize, start, finish units.Time, lineRate units.BitRate) {
+	fct := finish.Sub(start)
+	ideal := units.TxTime(size, lineRate)
+	slow := 0.0
+	if ideal > 0 {
+		slow = float64(fct) / float64(ideal)
+	}
+	c.fcts[cat] = append(c.fcts[cat], FCTSample{
+		Flow: flow, Cat: cat, Size: size, Start: start, Finish: finish, FCT: fct, Slowdown: slow,
+	})
+}
+
+// SwitchBuffer reports a switch's new total buffer occupancy.
+func (c *Collector) SwitchBuffer(node int32, total units.ByteSize) {
+	c.curSwitchTotal[node] = total
+	if total > c.maxSwitchBuf[node] {
+		c.maxSwitchBuf[node] = total
+		if total > c.maxNetSwitch {
+			c.maxNetSwitch = total
+		}
+	}
+}
+
+// PortBuffer reports a port's new buffered byte count (egress queue
+// plus VOQ bytes routed through it).
+func (c *Collector) PortBuffer(now units.Time, node int32, port int32, class topo.PortClass, bytes units.ByteSize) {
+	k := portKey{node, port}
+	if bytes > c.maxPortBuf[k] {
+		c.maxPortBuf[k] = bytes
+		if bytes > c.maxClassBuf[class] {
+			c.maxClassBuf[class] = bytes
+		}
+	}
+	idx := c.bin(now)
+	c.bufSeries[class] = grow(c.bufSeries[class], idx)
+	if bytes > c.bufSeries[class][idx] {
+		c.bufSeries[class][idx] = bytes
+	}
+}
+
+// PFCPaused accumulates pause time at a fabric layer.
+func (c *Collector) PFCPaused(layer topo.Layer, d units.Duration) {
+	c.pfcPause[layer] += d
+	c.pfcEvents++
+}
+
+// QueueDelay records one data packet's queuing delay at a port class.
+func (c *Collector) QueueDelay(class topo.PortClass, d units.Duration) {
+	c.queueDelaySum[class] += d
+	c.queueDelayCount[class]++
+}
+
+// Received adds delivered payload bytes to the per-category series.
+func (c *Collector) Received(now units.Time, cat Category, bytes units.ByteSize) {
+	idx := c.bin(now)
+	c.rxSeries[cat] = grow(c.rxSeries[cat], idx)
+	c.rxSeries[cat][idx] += bytes
+}
+
+// OnWire adds transmitted bytes (switch egress only) to the wire series.
+func (c *Collector) OnWire(now units.Time, class WireClass, bytes units.ByteSize) {
+	idx := c.bin(now)
+	c.wireSeries[class] = grow(c.wireSeries[class], idx)
+	c.wireSeries[class][idx] += bytes
+	c.wireTotal[class] += bytes
+}
+
+// Drop, Trim and Retransmit bump the respective counters.
+func (c *Collector) Drop()       { c.Drops++ }
+func (c *Collector) Trim()       { c.Trims++ }
+func (c *Collector) Retransmit() { c.Retransmits++ }
+
+// VOQInUse reports a switch's current number of occupied VOQs.
+func (c *Collector) VOQInUse(n int) {
+	if n > c.MaxVOQInUse {
+		c.MaxVOQInUse = n
+	}
+}
+
+// ---- Accessors / reductions ----
+
+// FCTs returns the samples of one category.
+func (c *Collector) FCTs(cat Category) []FCTSample { return c.fcts[cat] }
+
+// AllFCTs returns every sample across categories.
+func (c *Collector) AllFCTs() []FCTSample {
+	var all []FCTSample
+	for i := Category(0); i < NumCategories; i++ {
+		all = append(all, c.fcts[i]...)
+	}
+	return all
+}
+
+// PoissonFCTs returns the non-incast (background) samples.
+func (c *Collector) PoissonFCTs() []FCTSample {
+	var all []FCTSample
+	all = append(all, c.fcts[CatVictimIncast]...)
+	all = append(all, c.fcts[CatVictimPFC]...)
+	return all
+}
+
+// FCTStats reduces samples to (average, p99) durations. Zero samples
+// yield zeros.
+func FCTStats(samples []FCTSample) (avg, p99 units.Duration) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	ds := make([]units.Duration, len(samples))
+	var sum units.Duration
+	for i, s := range samples {
+		ds[i] = s.FCT
+		sum += s.FCT
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return sum / units.Duration(len(samples)), Percentile(ds, 0.99)
+}
+
+// Percentile returns the p-quantile (0..1) of sorted durations using
+// nearest-rank.
+func Percentile(sorted []units.Duration, p float64) units.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// CDF reduces samples to (value, cumulative fraction) points suitable
+// for plotting; at most maxPoints evenly spaced ranks.
+func CDF(samples []FCTSample, maxPoints int) (xs []units.Duration, ys []float64) {
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	ds := make([]units.Duration, len(samples))
+	for i, s := range samples {
+		ds[i] = s.FCT
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	if maxPoints <= 0 || maxPoints > len(ds) {
+		maxPoints = len(ds)
+	}
+	for i := 0; i < maxPoints; i++ {
+		rank := (i + 1) * len(ds) / maxPoints
+		xs = append(xs, ds[rank-1])
+		ys = append(ys, float64(rank)/float64(len(ds)))
+	}
+	return xs, ys
+}
+
+// MaxSwitchBuffer returns the network-wide maximum per-switch occupancy.
+func (c *Collector) MaxSwitchBuffer() units.ByteSize { return c.maxNetSwitch }
+
+// MaxClassBuffer returns the maximum per-port occupancy seen in a class.
+func (c *Collector) MaxClassBuffer(class topo.PortClass) units.ByteSize {
+	return c.maxClassBuf[class]
+}
+
+// PFCPauseTime returns the accumulated pause duration at a layer.
+func (c *Collector) PFCPauseTime(layer topo.Layer) units.Duration { return c.pfcPause[layer] }
+
+// PFCEventCount returns the number of pause periods recorded.
+func (c *Collector) PFCEventCount() int { return c.pfcEvents }
+
+// AvgQueueDelay returns the mean per-packet queuing delay at a class.
+func (c *Collector) AvgQueueDelay(class topo.PortClass) units.Duration {
+	if c.queueDelayCount[class] == 0 {
+		return 0
+	}
+	return c.queueDelaySum[class] / units.Duration(c.queueDelayCount[class])
+}
+
+// RxSeries returns the received-byte bins for a category.
+func (c *Collector) RxSeries(cat Category) []units.ByteSize { return c.rxSeries[cat] }
+
+// RxThroughput converts a category's bins to bit rates.
+func (c *Collector) RxThroughput(cat Category) []units.BitRate {
+	return toRates(c.rxSeries[cat], c.binWidth)
+}
+
+// WireThroughput converts a wire class's bins to bit rates.
+func (c *Collector) WireThroughput(class WireClass) []units.BitRate {
+	return toRates(c.wireSeries[class], c.binWidth)
+}
+
+// BufSeries returns the per-bin max port occupancy of a class.
+func (c *Collector) BufSeries(class topo.PortClass) []units.ByteSize {
+	return c.bufSeries[class]
+}
+
+// WireTotal returns total bytes placed on switch egress wires per class.
+func (c *Collector) WireTotal(class WireClass) units.ByteSize { return c.wireTotal[class] }
+
+// AvgWireRate returns the average rate of a wire class over the run.
+func (c *Collector) AvgWireRate(class WireClass, runtime units.Duration) units.BitRate {
+	return units.Rate(c.wireTotal[class], runtime)
+}
+
+func toRates(bins []units.ByteSize, w units.Duration) []units.BitRate {
+	out := make([]units.BitRate, len(bins))
+	for i, b := range bins {
+		out[i] = units.Rate(b, w)
+	}
+	return out
+}
+
+// SizeBucket labels a flow-size class for slowdown breakdowns.
+type SizeBucket struct {
+	Label string
+	Max   units.ByteSize // inclusive upper bound
+}
+
+// DefaultSizeBuckets follows the common small/medium/large split used
+// in datacenter transport evaluations.
+var DefaultSizeBuckets = []SizeBucket{
+	{"<=10KB", 10 * units.KB},
+	{"<=100KB", 100 * units.KB},
+	{"<=1MB", units.MB},
+	{">1MB", 1 << 62},
+}
+
+// SlowdownStats reduces samples to (mean, p99) FCT slowdown per size
+// bucket. Buckets with no samples yield zeros.
+func SlowdownStats(samples []FCTSample, buckets []SizeBucket) (means, p99s []float64) {
+	means = make([]float64, len(buckets))
+	p99s = make([]float64, len(buckets))
+	per := make([][]float64, len(buckets))
+	for _, s := range samples {
+		for bi, b := range buckets {
+			if s.Size <= b.Max {
+				per[bi] = append(per[bi], s.Slowdown)
+				break
+			}
+		}
+	}
+	for bi, vals := range per {
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Float64s(vals)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		means[bi] = sum / float64(len(vals))
+		idx := int(0.99*float64(len(vals))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(vals) {
+			idx = len(vals) - 1
+		}
+		p99s[bi] = vals[idx]
+	}
+	return means, p99s
+}

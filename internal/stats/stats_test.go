@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+)
+
+func TestFlowDoneAndStats(t *testing.T) {
+	c := NewCollector(10 * units.Microsecond)
+	c.FlowDone(1, CatIncast, 100*units.KB, 0, units.Time(100*units.Microsecond), 10*units.Gbps)
+	c.FlowDone(2, CatIncast, 100*units.KB, 0, units.Time(300*units.Microsecond), 10*units.Gbps)
+	avg, p99 := FCTStats(c.FCTs(CatIncast))
+	if avg != 200*units.Microsecond {
+		t.Fatalf("avg = %v", avg)
+	}
+	if p99 != 300*units.Microsecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	s := c.FCTs(CatIncast)[0]
+	// 100KB at 10Gbps ideal = 80us; slowdown = 100/80.
+	if s.Slowdown < 1.24 || s.Slowdown > 1.26 {
+		t.Fatalf("slowdown = %v", s.Slowdown)
+	}
+}
+
+func TestFCTStatsEmpty(t *testing.T) {
+	if a, p := FCTStats(nil); a != 0 || p != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var ds []units.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, units.Duration(i))
+	}
+	if got := Percentile(ds, 0.5); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(ds, 0.99); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := Percentile(ds, 1); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ds := make([]units.Duration, len(raw))
+		for i, v := range raw {
+			ds[i] = units.Duration(v)
+		}
+		// sort
+		for i := 1; i < len(ds); i++ {
+			for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+				ds[j], ds[j-1] = ds[j-1], ds[j]
+			}
+		}
+		p := float64(pRaw) / 255
+		got := Percentile(ds, p)
+		return got >= ds[0] && got <= ds[len(ds)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	c := NewCollector(0)
+	for i := 1; i <= 50; i++ {
+		c.FlowDone(uint64(i), CatVictimPFC, units.KB, 0, units.Time(i)*units.Time(units.Microsecond), units.Gbps)
+	}
+	xs, ys := CDF(c.FCTs(CatVictimPFC), 10)
+	if len(xs) != 10 || len(ys) != 10 {
+		t.Fatalf("CDF points = %d/%d", len(xs), len(ys))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] || ys[i] < ys[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if ys[len(ys)-1] != 1 {
+		t.Fatalf("CDF should end at 1, got %v", ys[len(ys)-1])
+	}
+}
+
+func TestBufferMaxima(t *testing.T) {
+	c := NewCollector(0)
+	c.SwitchBuffer(1, 100)
+	c.SwitchBuffer(1, 50)
+	c.SwitchBuffer(2, 80)
+	if got := c.MaxSwitchBuffer(); got != 100 {
+		t.Fatalf("max switch buffer = %v", got)
+	}
+	c.PortBuffer(0, 1, 0, topo.ClassToRDown, 60)
+	c.PortBuffer(0, 1, 0, topo.ClassToRDown, 40)
+	c.PortBuffer(0, 2, 1, topo.ClassCore, 55)
+	if got := c.MaxClassBuffer(topo.ClassToRDown); got != 60 {
+		t.Fatalf("class max = %v", got)
+	}
+	if got := c.MaxClassBuffer(topo.ClassCore); got != 55 {
+		t.Fatalf("core max = %v", got)
+	}
+}
+
+func TestBufSeriesBinning(t *testing.T) {
+	c := NewCollector(10 * units.Microsecond)
+	c.PortBuffer(units.Time(5*units.Microsecond), 1, 0, topo.ClassCore, 10)
+	c.PortBuffer(units.Time(9*units.Microsecond), 1, 0, topo.ClassCore, 30)
+	c.PortBuffer(units.Time(15*units.Microsecond), 1, 0, topo.ClassCore, 20)
+	s := c.BufSeries(topo.ClassCore)
+	if len(s) != 2 || s[0] != 30 || s[1] != 20 {
+		t.Fatalf("series = %v", s)
+	}
+}
+
+func TestPFCAccounting(t *testing.T) {
+	c := NewCollector(0)
+	c.PFCPaused(topo.LayerToR, 100*units.Microsecond)
+	c.PFCPaused(topo.LayerToR, 50*units.Microsecond)
+	c.PFCPaused(topo.LayerCore, 10*units.Microsecond)
+	if got := c.PFCPauseTime(topo.LayerToR); got != 150*units.Microsecond {
+		t.Fatalf("ToR pause = %v", got)
+	}
+	if c.PFCEventCount() != 3 {
+		t.Fatalf("events = %d", c.PFCEventCount())
+	}
+}
+
+func TestQueueDelayAverage(t *testing.T) {
+	c := NewCollector(0)
+	c.QueueDelay(topo.ClassCore, 10)
+	c.QueueDelay(topo.ClassCore, 30)
+	if got := c.AvgQueueDelay(topo.ClassCore); got != 20 {
+		t.Fatalf("avg = %v", got)
+	}
+	if c.AvgQueueDelay(topo.ClassToRUp) != 0 {
+		t.Fatal("empty class should average 0")
+	}
+}
+
+func TestRxAndWireSeries(t *testing.T) {
+	c := NewCollector(10 * units.Microsecond)
+	c.Received(0, CatIncast, 1000)
+	c.Received(units.Time(25*units.Microsecond), CatIncast, 500)
+	rx := c.RxSeries(CatIncast)
+	if len(rx) != 3 || rx[0] != 1000 || rx[2] != 500 {
+		t.Fatalf("rx series = %v", rx)
+	}
+	rates := c.RxThroughput(CatIncast)
+	if rates[0] != units.Rate(1000, 10*units.Microsecond) {
+		t.Fatalf("rate = %v", rates[0])
+	}
+	c.OnWire(0, WireCredit, 64)
+	c.OnWire(0, WireData, 1500)
+	if c.WireTotal(WireCredit) != 64 || c.WireTotal(WireData) != 1500 {
+		t.Fatal("wire totals wrong")
+	}
+	if c.AvgWireRate(WireData, 10*units.Microsecond) != units.Rate(1500, 10*units.Microsecond) {
+		t.Fatal("avg wire rate wrong")
+	}
+}
+
+func TestPoissonFCTsCombines(t *testing.T) {
+	c := NewCollector(0)
+	c.FlowDone(1, CatVictimIncast, 1, 0, 1, units.Gbps)
+	c.FlowDone(2, CatVictimPFC, 1, 0, 1, units.Gbps)
+	c.FlowDone(3, CatIncast, 1, 0, 1, units.Gbps)
+	if got := len(c.PoissonFCTs()); got != 2 {
+		t.Fatalf("poisson samples = %d", got)
+	}
+	if got := len(c.AllFCTs()); got != 3 {
+		t.Fatalf("all samples = %d", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCollector(0)
+	c.Drop()
+	c.Trim()
+	c.Retransmit()
+	c.VOQInUse(3)
+	c.VOQInUse(1)
+	if c.Drops != 1 || c.Trims != 1 || c.Retransmits != 1 || c.MaxVOQInUse != 3 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestSlowdownStats(t *testing.T) {
+	c := NewCollector(0)
+	// 5KB flow at exactly line rate -> slowdown 1.
+	c.FlowDone(1, CatVictimPFC, 5*units.KB, 0, units.Time(units.TxTime(5*units.KB, units.Gbps)), units.Gbps)
+	// 50KB flow at half line rate -> slowdown 2.
+	c.FlowDone(2, CatVictimPFC, 50*units.KB, 0, units.Time(2*units.TxTime(50*units.KB, units.Gbps)), units.Gbps)
+	means, p99s := SlowdownStats(c.AllFCTs(), DefaultSizeBuckets)
+	if means[0] < 0.99 || means[0] > 1.01 {
+		t.Fatalf("small bucket mean = %v, want ~1", means[0])
+	}
+	if means[1] < 1.99 || means[1] > 2.01 {
+		t.Fatalf("medium bucket mean = %v, want ~2", means[1])
+	}
+	if p99s[2] != 0 || means[3] != 0 {
+		t.Fatal("empty buckets should be zero")
+	}
+}
+
+func TestSlowdownNeverBelowOneInRealRun(t *testing.T) {
+	// Slowdown is FCT / ideal line-rate time, which real runs can only
+	// exceed (propagation, headers).
+	c := NewCollector(0)
+	c.FlowDone(1, CatIncast, units.KB, 0, units.Time(10*units.Microsecond), units.Gbps)
+	s := c.FCTs(CatIncast)[0]
+	if s.Slowdown < 1 {
+		t.Fatalf("slowdown %v < 1", s.Slowdown)
+	}
+}

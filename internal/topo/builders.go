@@ -1,0 +1,159 @@
+package topo
+
+import (
+	"fmt"
+
+	"floodgate/internal/packet"
+	"floodgate/internal/units"
+)
+
+// LeafSpineConfig describes the paper's main 2-tier non-blocking
+// evaluation fabric (§6): 4 spines, 10 ToRs, 16 hosts per rack,
+// 100 Gbps host links, 400 Gbps uplinks, 600 ns per-hop propagation.
+type LeafSpineConfig struct {
+	Spines      int
+	ToRs        int
+	HostsPerToR int
+	HostRate    units.BitRate
+	SpineRate   units.BitRate
+	Prop        units.Duration
+	// Oversubscription divides the uplink rate (1 = non-blocking,
+	// 4 = the 4:1 fabric of Fig. 24b). Zero means 1.
+	Oversubscription int
+}
+
+// DefaultLeafSpine returns the paper's §6 simulation topology.
+func DefaultLeafSpine() LeafSpineConfig {
+	return LeafSpineConfig{
+		Spines:      4,
+		ToRs:        10,
+		HostsPerToR: 16,
+		HostRate:    100 * units.Gbps,
+		SpineRate:   400 * units.Gbps,
+		Prop:        600 * units.Nanosecond,
+	}
+}
+
+// Build constructs the leaf–spine topology. Every ToR connects to
+// every spine. Each rack is its own pod (pods matter only for VOQ
+// grouping, which 2-tier ToRs do not need, but the metadata is kept
+// consistent).
+func (c LeafSpineConfig) Build() *Topology {
+	if c.Spines <= 0 || c.ToRs <= 0 || c.HostsPerToR <= 0 {
+		panic("topo: leaf-spine dimensions must be positive")
+	}
+	up := c.SpineRate
+	if c.Oversubscription > 1 {
+		up /= units.BitRate(c.Oversubscription)
+	}
+	b := &builder{}
+	spines := make([]packet.NodeID, 0, c.Spines)
+	for s := 0; s < c.Spines; s++ {
+		spines = append(spines, b.addNode(SwitchNode, LayerCore, -1, -1, fmt.Sprintf("spine%d", s)))
+	}
+	for r := 0; r < c.ToRs; r++ {
+		tor := b.addNode(SwitchNode, LayerToR, r, r, fmt.Sprintf("tor%d", r))
+		for _, s := range spines {
+			b.connect(tor, s, up, c.Prop, ClassToRUp, ClassCore)
+		}
+		for h := 0; h < c.HostsPerToR; h++ {
+			host := b.addNode(HostNode, LayerHost, r, r, fmt.Sprintf("h%d.%d", r, h))
+			b.connect(tor, host, c.HostRate, c.Prop, ClassToRDown, ClassHost)
+		}
+	}
+	return b.freeze()
+}
+
+// FatTreeConfig describes a k-ary fat tree. The paper's 3-tier fabric
+// (§6.2) is k=8 with 4 hosts per edge: 16 cores, 32 aggs, 32 edges,
+// 128 hosts, 16 hosts per pod.
+type FatTreeConfig struct {
+	K            int // even arity
+	HostsPerEdge int // defaults to K/2
+	Rate         units.BitRate
+	Prop         units.Duration
+}
+
+// DefaultFatTree returns the paper's 8-ary fat tree.
+func DefaultFatTree() FatTreeConfig {
+	return FatTreeConfig{K: 8, HostsPerEdge: 4, Rate: 100 * units.Gbps, Prop: 600 * units.Nanosecond}
+}
+
+// Build constructs the fat tree: K pods of K/2 edge and K/2 agg
+// switches; (K/2)^2 cores. Core c connects to agg (c / (K/2)) in each
+// pod. Edges are ToR-layer, aggs Agg-layer.
+func (c FatTreeConfig) Build() *Topology {
+	if c.K <= 0 || c.K%2 != 0 {
+		panic("topo: fat tree arity must be positive and even")
+	}
+	half := c.K / 2
+	hpe := c.HostsPerEdge
+	if hpe == 0 {
+		hpe = half
+	}
+	b := &builder{}
+	cores := make([]packet.NodeID, half*half)
+	for i := range cores {
+		cores[i] = b.addNode(SwitchNode, LayerCore, -1, -1, fmt.Sprintf("core%d", i))
+	}
+	rack := 0
+	for pod := 0; pod < c.K; pod++ {
+		aggs := make([]packet.NodeID, half)
+		for a := 0; a < half; a++ {
+			aggs[a] = b.addNode(SwitchNode, LayerAgg, pod, -1, fmt.Sprintf("agg%d.%d", pod, a))
+			for i := 0; i < half; i++ {
+				b.connect(aggs[a], cores[a*half+i], c.Rate, c.Prop, ClassAggUp, ClassCore)
+			}
+		}
+		for e := 0; e < half; e++ {
+			edge := b.addNode(SwitchNode, LayerToR, pod, rack, fmt.Sprintf("edge%d.%d", pod, e))
+			for _, a := range aggs {
+				b.connect(edge, a, c.Rate, c.Prop, ClassToRUp, ClassAggDown)
+			}
+			for h := 0; h < hpe; h++ {
+				host := b.addNode(HostNode, LayerHost, pod, rack, fmt.Sprintf("h%d.%d.%d", pod, e, h))
+				b.connect(edge, host, c.Rate, c.Prop, ClassToRDown, ClassHost)
+			}
+			rack++
+		}
+	}
+	return b.freeze()
+}
+
+// TestbedConfig mirrors the paper's §5.2 DPDK testbed: one core
+// switch, three ToRs with two hosts each, 10 Gbps host links and
+// 20 Gbps uplinks, base BDP 45 KB (software-switch latency dominates,
+// modelled as 4.5 µs per-hop propagation).
+type TestbedConfig struct {
+	ToRs        int
+	HostsPerToR int
+	HostRate    units.BitRate
+	CoreRate    units.BitRate
+	Prop        units.Duration
+}
+
+// DefaultTestbed returns the §5.2 testbed.
+func DefaultTestbed() TestbedConfig {
+	return TestbedConfig{
+		ToRs:        3,
+		HostsPerToR: 2,
+		HostRate:    10 * units.Gbps,
+		CoreRate:    20 * units.Gbps,
+		Prop:        4500 * units.Nanosecond,
+	}
+}
+
+// Build constructs the testbed star-of-ToRs topology.
+func (c TestbedConfig) Build() *Topology {
+	b := &builder{}
+	core := b.addNode(SwitchNode, LayerCore, -1, -1, "core")
+	for r := 0; r < c.ToRs; r++ {
+		tor := b.addNode(SwitchNode, LayerToR, r, r, fmt.Sprintf("tor%d", r))
+		b.connect(tor, core, c.CoreRate, c.Prop, ClassToRUp, ClassCore)
+		for h := 0; h < c.HostsPerToR; h++ {
+			host := b.addNode(HostNode, LayerHost, r, r, fmt.Sprintf("h%d.%d", r, h))
+			b.connect(tor, host, c.HostRate, c.Prop, ClassToRDown, ClassHost)
+		}
+	}
+	return b.freeze()
+}

@@ -1,0 +1,241 @@
+// Package topo models datacenter topologies: nodes (hosts and
+// switches arranged in layers), full-duplex links broken into directed
+// ports, shortest-path multipath routing, and the port-class taxonomy
+// the paper reports buffer occupancy against (ToR-Up, Core, ToR-Down,
+// Edge-Up, Agg-Up, ...).
+package topo
+
+import (
+	"fmt"
+
+	"floodgate/internal/packet"
+	"floodgate/internal/units"
+)
+
+// NodeKind distinguishes end hosts from switches.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	HostNode NodeKind = iota
+	SwitchNode
+)
+
+// Layer places a node in the fabric hierarchy.
+type Layer uint8
+
+// Fabric layers, bottom-up.
+const (
+	LayerHost Layer = iota
+	LayerToR        // edge/ToR switches (first and last switch hop)
+	LayerAgg        // aggregation/leaf switches (3-tier only)
+	LayerCore       // core/spine switches
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerHost:
+		return "host"
+	case LayerToR:
+		return "tor"
+	case LayerAgg:
+		return "agg"
+	case LayerCore:
+		return "core"
+	}
+	return fmt.Sprintf("layer(%d)", uint8(l))
+}
+
+// PortClass is the paper's reporting bucket for an egress port.
+type PortClass uint8
+
+// Port classes. Host ports are host NIC egress queues. For 2-tier
+// topologies only ToRUp/ToRDown/CoreDown/CoreUp exist; 3-tier adds the
+// Edge/Agg classes (paper Fig. 13 naming).
+const (
+	ClassHost    PortClass = iota
+	ClassToRUp             // ToR port facing the fabric (packets' first switch hop upward)
+	ClassToRDown           // ToR port facing hosts (packets' last hop)
+	ClassCore              // any core/spine port
+	ClassAggUp             // aggregation port facing cores
+	ClassAggDown           // aggregation port facing ToRs
+	NumPortClasses
+)
+
+var classNames = [NumPortClasses]string{"Host", "ToR-Up", "ToR-Down", "Core", "Agg-Up", "Agg-Down"}
+
+func (c PortClass) String() string {
+	if c < NumPortClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Port is one direction of a link: the transmit side owned by Owner.
+type Port struct {
+	Owner    packet.NodeID
+	Index    int // position within Owner's port list
+	Peer     packet.NodeID
+	PeerPort int // the reverse-direction port index at Peer
+	Rate     units.BitRate
+	Prop     units.Duration
+	Class    PortClass
+}
+
+// BDP returns the one-hop bandwidth-delay product of this port: the
+// bytes in flight over a full round trip to the peer (2×propagation)
+// plus one MTU of serialization slack. Floodgate initialises per-dst
+// windows from this.
+func (p *Port) BDP() units.ByteSize {
+	return units.BytesOver(p.Rate, 2*p.Prop) + packet.MTU
+}
+
+// Node is a device: a host (one port) or a switch (many ports).
+type Node struct {
+	ID    packet.NodeID
+	Kind  NodeKind
+	Layer Layer
+	Pod   int // pod/zone index (3-tier); -1 when not applicable
+	Rack  int // rack index for ToRs and hosts; -1 otherwise
+	Name  string
+	Ports []Port
+}
+
+// Topology is an immutable network graph with precomputed multipath
+// routes from every node to every host.
+type Topology struct {
+	Nodes []*Node
+	Hosts []packet.NodeID // all host IDs in ID order
+
+	hostIdx []int     // NodeID -> dense host index, -1 for switches
+	routes  [][][]int // [nodeID][hostIdx] -> candidate egress port indices
+}
+
+// Node returns the node with the given ID.
+func (t *Topology) Node(id packet.NodeID) *Node { return t.Nodes[id] }
+
+// HostIndex returns the dense index of a host node, or -1.
+func (t *Topology) HostIndex(id packet.NodeID) int { return t.hostIdx[id] }
+
+// NumHosts returns the number of hosts.
+func (t *Topology) NumHosts() int { return len(t.Hosts) }
+
+// NextPorts returns every shortest-path egress port index at node n
+// toward destination host dst. Empty only if n == dst.
+func (t *Topology) NextPorts(n, dst packet.NodeID) []int {
+	return t.routes[n][t.hostIdx[dst]]
+}
+
+// ECMP picks one egress port for a (src, dst) pair among the
+// equal-cost candidates. The hash depends only on the pair, so all
+// flows between the same hosts share one path (the paper's §3.2
+// assumption for per-dst windows).
+func (t *Topology) ECMP(n, src, dst packet.NodeID) int {
+	ports := t.NextPorts(n, dst)
+	if len(ports) == 1 {
+		return ports[0]
+	}
+	h := pairHash(uint64(src), uint64(dst))
+	return ports[h%uint64(len(ports))]
+}
+
+func pairHash(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 ^ b*0xc2b2ae3d27d4eb4f
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// SamePod reports whether destination host dst lives under the same
+// pod as switch n (Floodgate's downstream/upstream VOQ grouping).
+func (t *Topology) SamePod(n, dst packet.NodeID) bool {
+	return t.Nodes[n].Pod >= 0 && t.Nodes[n].Pod == t.Nodes[dst].Pod
+}
+
+// builder assembles nodes and links then freezes them into a Topology.
+type builder struct {
+	nodes []*Node
+}
+
+func (b *builder) addNode(kind NodeKind, layer Layer, pod, rack int, name string) packet.NodeID {
+	id := packet.NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, &Node{ID: id, Kind: kind, Layer: layer, Pod: pod, Rack: rack, Name: name})
+	return id
+}
+
+// connect adds a full-duplex link between a and b as two directed
+// ports with the given rate, propagation delay and per-direction class.
+func (b *builder) connect(a, bb packet.NodeID, rate units.BitRate, prop units.Duration, aClass, bClass PortClass) {
+	na, nb := b.nodes[a], b.nodes[bb]
+	pa := Port{Owner: a, Index: len(na.Ports), Peer: bb, Rate: rate, Prop: prop, Class: aClass}
+	pb := Port{Owner: bb, Index: len(nb.Ports), Peer: a, Rate: rate, Prop: prop, Class: bClass}
+	pa.PeerPort = pb.Index
+	pb.PeerPort = pa.Index
+	na.Ports = append(na.Ports, pa)
+	nb.Ports = append(nb.Ports, pb)
+}
+
+// freeze computes routes and returns the immutable topology.
+func (b *builder) freeze() *Topology {
+	t := &Topology{Nodes: b.nodes}
+	t.hostIdx = make([]int, len(b.nodes))
+	for i := range t.hostIdx {
+		t.hostIdx[i] = -1
+	}
+	for _, n := range b.nodes {
+		if n.Kind == HostNode {
+			t.hostIdx[n.ID] = len(t.Hosts)
+			t.Hosts = append(t.Hosts, n.ID)
+		}
+	}
+	t.computeRoutes()
+	return t
+}
+
+// computeRoutes runs one reverse BFS per host, collecting every
+// equal-cost next hop at every node.
+func (t *Topology) computeRoutes() {
+	n := len(t.Nodes)
+	t.routes = make([][][]int, n)
+	for i := range t.routes {
+		t.routes[i] = make([][]int, len(t.Hosts))
+	}
+	dist := make([]int, n)
+	queue := make([]packet.NodeID, 0, n)
+	for hi, h := range t.Hosts {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[h] = 0
+		queue = queue[:0]
+		queue = append(queue, h)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, p := range t.Nodes[cur].Ports {
+				// Traverse the reverse direction: peer can reach cur.
+				peer := p.Peer
+				if dist[peer] == -1 {
+					dist[peer] = dist[cur] + 1
+					queue = append(queue, peer)
+				}
+			}
+		}
+		// A node's next hops toward h are all ports whose peer is one
+		// step closer. Hosts never forward transit traffic: their only
+		// next hop is their ToR uplink, which the BFS yields naturally.
+		for _, node := range t.Nodes {
+			if node.ID == h || dist[node.ID] == -1 {
+				continue
+			}
+			var ports []int
+			for i, p := range node.Ports {
+				if d := dist[p.Peer]; d >= 0 && d == dist[node.ID]-1 {
+					ports = append(ports, i)
+				}
+			}
+			t.routes[node.ID][hi] = ports
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"floodgate/internal/cc"
+	"floodgate/internal/device"
+	"floodgate/internal/packet"
+	"floodgate/internal/sim"
+	"floodgate/internal/stats"
+	"floodgate/internal/topo"
+	"floodgate/internal/trace"
+	"floodgate/internal/units"
+)
+
+func TestRingRetention(t *testing.T) {
+	b := trace.NewBuffer(4, trace.Filter{})
+	for i := 0; i < 10; i++ {
+		b.Record(trace.Event{At: units.Time(i), Flow: packet.FlowID(i)})
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != units.Time(6+i) {
+			t.Fatalf("expected newest 4 in order, got %v", evs)
+		}
+	}
+	if b.Total() != 10 {
+		t.Fatalf("total = %d", b.Total())
+	}
+}
+
+func TestPartialRing(t *testing.T) {
+	b := trace.NewBuffer(8, trace.Filter{})
+	b.Record(trace.Event{At: 1})
+	b.Record(trace.Event{At: 2})
+	evs := b.Events()
+	if len(evs) != 2 || evs[0].At != 1 || evs[1].At != 2 {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	b := trace.NewBuffer(16, trace.Filter{Flow: 7, Ops: map[trace.Op]bool{trace.OpDrop: true}})
+	b.Record(trace.Event{Flow: 7, Op: trace.OpDrop})
+	b.Record(trace.Event{Flow: 7, Op: trace.OpSend}) // wrong op
+	b.Record(trace.Event{Flow: 8, Op: trace.OpDrop}) // wrong flow
+	if b.Total() != 1 {
+		t.Fatalf("filter matched %d, want 1", b.Total())
+	}
+}
+
+func TestNilBufferSafe(t *testing.T) {
+	var b *trace.Buffer
+	b.Record(trace.Event{}) // must not panic
+}
+
+func TestFlowHistoryAndDump(t *testing.T) {
+	b := trace.NewBuffer(16, trace.Filter{})
+	b.Record(trace.Event{Flow: 1, Op: trace.OpSend})
+	b.Record(trace.Event{Flow: 2, Op: trace.OpSend})
+	b.Record(trace.Event{Flow: 1, Op: trace.OpDeliver})
+	h := b.FlowHistory(1)
+	if len(h) != 2 || h[0].Op != trace.OpSend || h[1].Op != trace.OpDeliver {
+		t.Fatalf("history = %v", h)
+	}
+	if !strings.Contains(b.Dump(), "SEND") {
+		t.Fatal("dump missing op name")
+	}
+}
+
+// TestEndToEndLifecycle traces a real flow through the simulator and
+// checks the canonical lifecycle order.
+func TestEndToEndLifecycle(t *testing.T) {
+	tp := topo.LeafSpineConfig{
+		Spines: 1, ToRs: 2, HostsPerToR: 1,
+		HostRate: 10 * units.Gbps, SpineRate: 40 * units.Gbps,
+		Prop: 600 * units.Nanosecond,
+	}.Build()
+	buf := trace.NewBuffer(1024, trace.Filter{})
+	n := device.New(device.Config{
+		Topo: tp, Engine: sim.NewEngine(),
+		Stats: stats.NewCollector(10 * units.Microsecond),
+		Rand:  sim.NewRand(1),
+		CC:    cc.NewFixedWindow(),
+		Trace: buf,
+	})
+	f := n.AddFlow(tp.Hosts[0], tp.Hosts[1], 3000, 0, packet.CatIncast)
+	n.Run(units.Time(5 * units.Millisecond))
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	evs := buf.FlowHistory(f.ID)
+	if len(evs) == 0 {
+		t.Fatal("no events traced")
+	}
+	// First event must be the host SEND, last the destination DLVR, and
+	// every segment passes ENQ/TX at switches in between.
+	if evs[0].Op != trace.OpSend {
+		t.Fatalf("first op = %v", evs[0].Op)
+	}
+	last := evs[len(evs)-1]
+	if last.Op != trace.OpDeliver || last.Node != tp.Hosts[1] {
+		t.Fatalf("last event = %+v", last)
+	}
+	var sends, enqs, txs, dlvrs int
+	for i, e := range evs {
+		if i > 0 && e.At < evs[i-1].At {
+			t.Fatal("events out of chronological order")
+		}
+		switch e.Op {
+		case trace.OpSend:
+			sends++
+		case trace.OpEnqueue:
+			enqs++
+		case trace.OpTx:
+			txs++
+		case trace.OpDeliver:
+			dlvrs++
+		}
+	}
+	// 3000B = 3 segments; 3 hops of switching (tor, spine, tor).
+	if sends != 3 || dlvrs != 3 {
+		t.Fatalf("sends=%d dlvrs=%d, want 3 each", sends, dlvrs)
+	}
+	if enqs != 9 || txs != 9 {
+		t.Fatalf("enqs=%d txs=%d, want 9 each (3 segments x 3 switches)", enqs, txs)
+	}
+}
+
+// TestParkTraced checks Floodgate VOQ parking shows in the trace.
+func TestOpNames(t *testing.T) {
+	for op := trace.OpSend; op <= trace.OpResume; op++ {
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTxTimeExact(t *testing.T) {
+	cases := []struct {
+		size ByteSize
+		rate BitRate
+		want Duration
+	}{
+		{1500, 100 * Gbps, 120 * Nanosecond},
+		{1500, 400 * Gbps, 30 * Nanosecond},
+		{1500, 10 * Gbps, 1200 * Nanosecond},
+		{64, 100 * Gbps, Duration(5120)}, // 5.12ns
+		{1, 400 * Gbps, Duration(20)},    // 20ps exactly
+		{0, 100 * Gbps, 0},
+	}
+	for _, c := range cases {
+		if got := TxTime(c.size, c.rate); got != c.want {
+			t.Errorf("TxTime(%v, %v) = %v, want %v", c.size, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestTxTimeRoundsUp(t *testing.T) {
+	// 1 byte at 3 bps = 8/3 s -> must round up to whole picoseconds.
+	got := TxTime(1, 3)
+	want := Duration(8*int64(Second)/3 + 1)
+	if got != want {
+		t.Fatalf("TxTime(1B, 3bps) = %d, want %d", got, want)
+	}
+}
+
+func TestTxTimeLargeTransferNoOverflow(t *testing.T) {
+	// 1 TB at 1 Gbps = 8000 s; direct 64-bit multiplication would overflow.
+	got := TxTime(1e12, Gbps)
+	if want := 8000 * Second; got != want {
+		t.Fatalf("TxTime(1TB, 1Gbps) = %v, want %v", got, want)
+	}
+}
+
+func TestBDP(t *testing.T) {
+	// The paper's 2-tier base numbers: 100 Gbps host links, 5.1us base
+	// RTT gives 63.75 KB, i.e. the quoted "base BDP is 64KB".
+	bdp := BDP(100*Gbps, Duration(51)*Microsecond/10)
+	if bdp != 63750 {
+		t.Fatalf("BDP(100Gbps, 5.1us) = %d, want 63750", bdp)
+	}
+}
+
+func TestRateInvertsTxTime(t *testing.T) {
+	f := func(sz uint16, rGb uint8) bool {
+		size := ByteSize(sz) + 1
+		rate := BitRate(int64(rGb)+1) * Gbps
+		d := TxTime(size, rate)
+		got := Rate(size, d)
+		// Rounding up the delay can only lower the recovered rate, and by
+		// less than one part in the byte count.
+		return got <= rate && got >= rate-rate/BitRate(size)/8-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesOver(t *testing.T) {
+	if got := BytesOver(100*Gbps, 10*Microsecond); got != 125000 {
+		t.Fatalf("BytesOver(100Gbps, 10us) = %d, want 125000", got)
+	}
+	if got := BytesOver(Gbps, 0); got != 0 {
+		t.Fatalf("BytesOver(., 0) = %d, want 0", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0).Add(5 * Microsecond)
+	if t0.Sub(Time(0)) != 5*Microsecond {
+		t.Fatal("Add/Sub mismatch")
+	}
+	if t0.Microseconds() != 5 {
+		t.Fatalf("Microseconds() = %v", t0.Microseconds())
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{(120 * Nanosecond).String(), "120ns"},
+		{(10 * Microsecond).String(), "10us"},
+		{(3 * Millisecond).String(), "3ms"},
+		{Duration(500).String(), "500ps"},
+		{(-10 * Microsecond).String(), "-10us"},
+		{(100 * Gbps).String(), "100Gbps"},
+		{(40 * Mbps).String(), "40Mbps"},
+		{(20 * MB).String(), "20MB"},
+		{(64 * KB).String(), "64KB"},
+		{ByteSize(512).String(), "512B"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestMulDivAgainstSmallCases(t *testing.T) {
+	f := func(a, b uint16, c uint8) bool {
+		cc := int64(c) + 1
+		want := int64(a) * int64(b) / cc
+		return mulDiv(int64(a), int64(b), cc) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
