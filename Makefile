@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the parallel executor (the rest of the suite is
+# single-goroutine per run; exp is where concurrency lives).
+race:
+	$(GO) test -race -timeout 3600s ./internal/exp/...
+
+vet:
+	$(GO) vet ./...
+
+# Engine microbenchmarks (push/pop, zero-alloc callbacks, cancel) plus
+# the per-figure benchmarks at the package root.
+bench:
+	$(GO) test -bench=BenchmarkEngineCore -benchmem ./internal/sim
+	$(GO) test -bench=. -benchmem .
+
+ci: build vet test race

@@ -4,11 +4,13 @@
 //
 //	floodsim -list
 //	floodsim -exp fig10 -scale 0.25
-//	floodsim -exp all -scale 0.5 -seed 7
+//	floodsim -exp all -scale 0.5 -seed 7 -par 8
 //
 // Scale 1 is the paper's 160-host 100/400 Gbps fabric (slow; see
 // DESIGN.md for the slow-motion scale model that keeps smaller runs
-// faithful in shape).
+// faithful in shape). Independent simulations run across a worker
+// pool (-par, default all cores); the printed tables are bit-identical
+// at every parallelism, and -par 1 reproduces the serial path exactly.
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 		expID = flag.String("exp", "", "experiment id (see -list), or 'all'")
 		scale = flag.Float64("scale", 0.25, "fabric scale in (0,1]; 1 = paper scale")
 		seed  = flag.Uint64("seed", 1, "workload/simulation seed")
+		par   = flag.Int("par", 0, "max concurrent simulations; 0 = all cores, 1 = serial")
 		list  = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
@@ -35,40 +38,52 @@ func main() {
 			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
 		}
 		if *expID == "" && !*list {
-			fmt.Println("\nusage: floodsim -exp <id|all> [-scale S] [-seed N]")
+			fmt.Println("\nusage: floodsim -exp <id|all> [-scale S] [-seed N] [-par N]")
 			os.Exit(2)
 		}
 		return
 	}
 
-	o := floodgate.Options{Scale: *scale, Seed: *seed}
-	run := func(id string) error {
-		start := time.Now()
-		tables, err := floodgate.RunExperiment(id, o)
-		if err != nil {
-			return err
-		}
+	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par}
+	print := func(id string, tables []floodgate.Table, elapsed time.Duration) {
 		for _, t := range tables {
 			fmt.Println(t.String())
 		}
-		fmt.Printf("[%s done in %v at scale %.2f]\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
-		return nil
+		fmt.Printf("[%s done in %v at scale %.2f]\n\n", id, elapsed.Round(time.Millisecond), *scale)
 	}
 
 	if *expID == "all" {
+		var ids []string
 		for _, e := range floodgate.Experiments() {
 			if e.ID == "fig8" {
 				continue // the per-CC variants cover it without tripling runtime
 			}
-			if err := run(e.ID); err != nil {
+			ids = append(ids, e.ID)
+		}
+		// Whole experiments overlap through the shared pool; tables still
+		// print in paper order. Elapsed is measured from the batch start:
+		// with overlap, per-experiment wall time is not meaningful.
+		start := time.Now()
+		failed := false
+		floodgate.RunExperiments(ids, o, func(id string, tables []floodgate.Table, err error) {
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "floodsim:", err)
-				os.Exit(1)
+				failed = true
+				return
 			}
+			print(id, tables, time.Since(start))
+		})
+		if failed {
+			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*expID); err != nil {
+
+	start := time.Now()
+	tables, err := floodgate.RunExperiment(*expID, o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "floodsim:", err)
 		os.Exit(1)
 	}
+	print(*expID, tables, time.Since(start))
 }

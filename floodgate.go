@@ -65,8 +65,10 @@ const (
 
 // ---- Experiments (the paper's evaluation) ----
 
-// Options scales experiments between smoke test and paper scale; see
-// DESIGN.md §"slow-motion scaling".
+// Options scales experiments between smoke test and paper scale (see
+// DESIGN.md §"slow-motion scaling") and sets the run-level parallelism
+// (Options.Parallelism: 0 = all cores, 1 = serial; output is
+// bit-identical at every setting).
 type Options = exp.Options
 
 // Table is one rendered experiment result.
@@ -79,13 +81,23 @@ type Experiment = exp.Experiment
 func Experiments() []Experiment { return exp.List() }
 
 // RunExperiment reproduces one figure/table by id (e.g. "fig10",
-// "table2"); see Experiments for the catalogue.
+// "table2"); see Experiments for the catalogue. Independent
+// simulations within the experiment run across a worker pool sized by
+// Options.Parallelism.
 func RunExperiment(id string, o Options) ([]Table, error) {
 	e, err := exp.Lookup(id)
 	if err != nil {
 		return nil, err
 	}
 	return e.Run(o), nil
+}
+
+// RunExperiments executes several experiments, overlapping all their
+// simulations through one shared worker pool, and emits each
+// experiment's tables strictly in the order given. With
+// Options.Parallelism = 1 experiments run back to back, serially.
+func RunExperiments(ids []string, o Options, emit func(id string, tables []Table, err error)) {
+	exp.RunExperiments(ids, o, emit)
 }
 
 // ---- Scenarios ----
@@ -148,6 +160,12 @@ type (
 // Run executes one simulation run to completion (workload window plus
 // drain) and returns the collected statistics.
 func Run(rc RunConfig) *RunResult { return exp.Run(rc) }
+
+// RunMany executes independent simulation runs across a worker pool
+// sized by the first config's Options.Parallelism (0 = all cores) and
+// returns results by submission index. Results are bit-identical to
+// calling Run in a loop; see DESIGN.md §"Parallel execution".
+func RunMany(rcs []RunConfig) []*RunResult { return exp.RunMany(rcs) }
 
 // ---- Topologies ----
 

@@ -41,7 +41,8 @@ func AblationFloodgate(o Options) []Table {
 		{"1-VOQ pool", func(c *core.Config) { c.MaxVOQs = 1 }},
 		{"no window (off)", nil},
 	}
-	for _, v := range variants {
+	t.Rows = runJobs(o, len(variants), func(idx int) []string {
+		v := variants[idx]
 		tp := o.leafSpine()
 		var s Scheme
 		if v.mut == nil {
@@ -63,14 +64,14 @@ func AblationFloodgate(o Options) []Table {
 		}
 		res := runMixWith(o, tp, workload.WebServer, s)
 		_, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
-		t.AddRow(v.name,
+		return []string{v.name,
 			fmtBytes(res.Stats.MaxSwitchBuffer()),
 			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
 			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
 			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)),
 			fmtDur(p99),
-			fmt.Sprintf("%d", res.Stats.MaxVOQInUse))
-	}
+			fmt.Sprintf("%d", res.Stats.MaxVOQInUse)}
+	})
 	t.Comment = "each mechanism earns its keep: delayCredit caps cores, aggregation saves bandwidth at equal buffers, the VOQ pool isolates concurrent incasts"
 	return []Table{t}
 }
@@ -97,18 +98,32 @@ func CompatMatrix(o Options) []Table {
 		Header: []string{"cc", "mix p99 (plain)", "mix p99 (+FG)", "pure p99 (plain)", "pure p99 (+FG)"},
 	}
 	bases := []func(Options) Scheme{DCQCN, DCTCP, TIMELY, HPCC}
-	for _, base := range bases {
-		tp := o.leafSpine()
-		bdp := baseBDPOf(tp)
-		plainMix := runMixWith(o, tp, workload.WebServer, base(o))
-		fgMix := runMixWith(o, o.leafSpine(), workload.WebServer, WithFloodgate(o, base(o), bdp))
-		purePlain := runPurePoisson(o, base(o))
-		pureFG := runPurePoisson(o, WithFloodgate(o, base(o), bdp))
-		_, pm := stats.FCTStats(plainMix.Stats.PoissonFCTs())
-		_, fm := stats.FCTStats(fgMix.Stats.PoissonFCTs())
-		_, pp := stats.FCTStats(purePlain.Stats.AllFCTs())
-		_, pf := stats.FCTStats(pureFG.Stats.AllFCTs())
-		t.AddRow(base(o).Name, fmtDur(pm), fmtDur(fm), fmtDur(pp), fmtDur(pf))
+	// Four runs per congestion control; all 16 overlap in the pool and
+	// each row reduces its own four p99s at assembly.
+	p99s := runJobs(o, len(bases)*4, func(idx int) units.Duration {
+		base := bases[idx/4]
+		bdp := baseBDPOf(o.leafSpine())
+		var res *RunResult
+		switch idx % 4 {
+		case 0:
+			res = runMixWith(o, o.leafSpine(), workload.WebServer, base(o))
+		case 1:
+			res = runMixWith(o, o.leafSpine(), workload.WebServer, WithFloodgate(o, base(o), bdp))
+		case 2:
+			res = runPurePoisson(o, base(o))
+		default:
+			res = runPurePoisson(o, WithFloodgate(o, base(o), bdp))
+		}
+		samples := res.Stats.PoissonFCTs()
+		if idx%4 >= 2 {
+			samples = res.Stats.AllFCTs()
+		}
+		_, p99 := stats.FCTStats(samples)
+		return p99
+	})
+	for bi, base := range bases {
+		t.AddRow(base(o).Name, fmtDur(p99s[bi*4]), fmtDur(p99s[bi*4+1]),
+			fmtDur(p99s[bi*4+2]), fmtDur(p99s[bi*4+3]))
 	}
 	t.Comment = "Floodgate's isolation survives the CC swap (§8); pure-Poisson columns must match within noise"
 	return []Table{t}
@@ -132,37 +147,36 @@ func IncastDegreeSweep(o Options) []Table {
 		Title:  "Extension: buffer relief vs incast degree (pure incast bursts)",
 		Header: []string{"degree", "DCQCN ToR-Down", "+FG ToR-Down", "relief"},
 	}
-	for _, frac := range []int{4, 2, 1} { // 1/4, 1/2, all cross-rack hosts
-		var plain, fg units.ByteSize
-		for _, withFG := range []bool{false, true} {
-			tp := o.leafSpine()
-			s := DCQCN(o)
-			if withFG {
-				s = WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
-			}
-			dst := tp.Hosts[len(tp.Hosts)-1]
-			senders := workload.CrossRackSenders(tp, dst)
-			n := len(senders) / frac
-			if n < 2 {
-				n = 2
-			}
-			r := newRand(o.Seed)
-			var specs []workload.FlowSpec
-			for i := 0; i < n; i++ {
-				size := 30*mtu + units.ByteSize(r.Int63n(int64(10*mtu)+1))
-				specs = append(specs, workload.FlowSpec{Src: senders[i], Dst: dst, Size: size, Cat: catIncast})
-			}
-			res := Run(RunConfig{
-				Topo: tp, Scheme: s, Specs: specs,
-				Duration: 2 * units.Millisecond, Seed: o.Seed, Opt: o,
-				Drain: 300 * units.Millisecond,
-			})
-			if withFG {
-				fg = res.Stats.MaxClassBuffer(topo.ClassToRDown)
-			} else {
-				plain = res.Stats.MaxClassBuffer(topo.ClassToRDown)
-			}
+	fracs := []int{4, 2, 1} // 1/4, 1/2, all cross-rack hosts
+	bufs := runJobs(o, len(fracs)*2, func(idx int) units.ByteSize {
+		frac := fracs[idx/2]
+		withFG := idx%2 == 1
+		tp := o.leafSpine()
+		s := DCQCN(o)
+		if withFG {
+			s = WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
 		}
+		dst := tp.Hosts[len(tp.Hosts)-1]
+		senders := workload.CrossRackSenders(tp, dst)
+		n := len(senders) / frac
+		if n < 2 {
+			n = 2
+		}
+		r := newRand(o.Seed)
+		var specs []workload.FlowSpec
+		for i := 0; i < n; i++ {
+			size := 30*mtu + units.ByteSize(r.Int63n(int64(10*mtu)+1))
+			specs = append(specs, workload.FlowSpec{Src: senders[i], Dst: dst, Size: size, Cat: catIncast})
+		}
+		res := Run(RunConfig{
+			Topo: tp, Scheme: s, Specs: specs,
+			Duration: 2 * units.Millisecond, Seed: o.Seed, Opt: o,
+			Drain: 300 * units.Millisecond,
+		})
+		return res.Stats.MaxClassBuffer(topo.ClassToRDown)
+	})
+	for fi, frac := range fracs {
+		plain, fg := bufs[fi*2], bufs[fi*2+1]
 		t.AddRow(fmt.Sprintf("1/%d of hosts", frac), fmtBytes(plain), fmtBytes(fg),
 			fmtRatio(float64(plain), float64(fg)))
 	}

@@ -17,7 +17,6 @@ import (
 // keeps climbing with the flow count while Floodgate converges.
 func Fig16(o Options) []Table {
 	o = o.norm()
-	var tables []Table
 	settings := []struct {
 		name       string
 		kmin, kmax units.ByteSize
@@ -38,53 +37,63 @@ func Fig16(o Options) []Table {
 		s.CC = dcqcnNew(cfg)
 		return s
 	}
-	for _, set := range settings {
+	mks := []func(tp *topo.Topology) Scheme{
+		func(tp *topo.Topology) Scheme { return dcqcnFloor(o) },
+		func(tp *topo.Topology) Scheme { return WithIdeal(o, dcqcnFloor(o), baseBDPOf(tp)) },
+		func(tp *topo.Topology) Scheme { return WithFloodgate(o, dcqcnFloor(o), baseBDPOf(tp)) },
+	}
+	// Submit every (ECN setting × scheme) run to the pool; rows are
+	// assembled in submission order below, so the tables match the
+	// serial path byte for byte.
+	rows := runJobs(o, len(settings)*len(mks), func(idx int) []string {
+		set := settings[idx/len(mks)]
+		mkScheme := mks[idx%len(mks)]
+		tp := o.leafSpine()
+		s := mkScheme(tp)
+		dst := tp.Hosts[len(tp.Hosts)-1]
+		senders := workload.CrossRackSenders(tp, dst)
+		// Long-lived flows: sized far beyond the window so every
+		// arrived flow stays active to the end (the paper's x-axis is
+		// the number of concurrently active flows).
+		interval := o.stretch(200 * units.Microsecond)
+		dur := units.Duration(flows+4) * interval
+		var specs []workload.FlowSpec
+		for i := 0; i < flows; i++ {
+			specs = append(specs, workload.FlowSpec{
+				Src: senders[i%len(senders)], Dst: dst,
+				Size:  1 << 40, // never finishes within the window
+				Start: units.Time(int64(i) * int64(interval)),
+				Cat:   stats.CatIncast,
+			})
+		}
+		ecn := device.ECNConfig{Enable: s.ECN, KMin: set.kmin, KMax: set.kmax, PMax: 0.2}
+		res := Run(RunConfig{
+			Topo: tp, Scheme: s, Specs: specs,
+			Duration: dur, Drain: units.Nanosecond, Seed: o.Seed, Opt: o,
+			ECN: &ecn, BinWidth: interval,
+		})
+		series := res.Stats.BufSeries(topo.ClassToRDown)
+		q := func(frac float64) string {
+			idx := int(frac * float64(flows))
+			if idx >= len(series) {
+				idx = len(series) - 1
+			}
+			if idx < 0 {
+				return "n/a"
+			}
+			return fmtBytes(series[idx])
+		}
+		return []string{s.Name, q(0.25), q(0.5), q(0.75), q(1),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown))}
+	})
+	var tables []Table
+	for si, set := range settings {
 		t := Table{
 			Title:  "Fig 16: buffer vs #arrived flows, ECN " + set.name,
 			Header: []string{"scheme", "after 1/4", "after 1/2", "after 3/4", "end", "ToR-Down max"},
 		}
-		for _, mkScheme := range []func(tp *topo.Topology) Scheme{
-			func(tp *topo.Topology) Scheme { return dcqcnFloor(o) },
-			func(tp *topo.Topology) Scheme { return WithIdeal(o, dcqcnFloor(o), baseBDPOf(tp)) },
-			func(tp *topo.Topology) Scheme { return WithFloodgate(o, dcqcnFloor(o), baseBDPOf(tp)) },
-		} {
-			tp := o.leafSpine()
-			s := mkScheme(tp)
-			dst := tp.Hosts[len(tp.Hosts)-1]
-			senders := workload.CrossRackSenders(tp, dst)
-			// Long-lived flows: sized far beyond the window so every
-			// arrived flow stays active to the end (the paper's x-axis is
-			// the number of concurrently active flows).
-			interval := o.stretch(200 * units.Microsecond)
-			dur := units.Duration(flows+4) * interval
-			var specs []workload.FlowSpec
-			for i := 0; i < flows; i++ {
-				specs = append(specs, workload.FlowSpec{
-					Src: senders[i%len(senders)], Dst: dst,
-					Size:  1 << 40, // never finishes within the window
-					Start: units.Time(int64(i) * int64(interval)),
-					Cat:   stats.CatIncast,
-				})
-			}
-			ecn := device.ECNConfig{Enable: s.ECN, KMin: set.kmin, KMax: set.kmax, PMax: 0.2}
-			res := Run(RunConfig{
-				Topo: tp, Scheme: s, Specs: specs,
-				Duration: dur, Drain: units.Nanosecond, Seed: o.Seed, Opt: o,
-				ECN: &ecn, BinWidth: interval,
-			})
-			series := res.Stats.BufSeries(topo.ClassToRDown)
-			q := func(frac float64) string {
-				idx := int(frac * float64(flows))
-				if idx >= len(series) {
-					idx = len(series) - 1
-				}
-				if idx < 0 {
-					return "n/a"
-				}
-				return fmtBytes(series[idx])
-			}
-			t.AddRow(s.Name, q(0.25), q(0.5), q(0.75), q(1),
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)))
+		for mi := range mks {
+			t.AddRow(rows[si*len(mks)+mi]...)
 		}
 		t.Comment = "paper: DCQCN's ToR-Down buffer keeps growing with flow count (≥1 in-flight packet per flow); Floodgate converges to window x topology; ideal is ECN-insensitive"
 		tables = append(tables, t)
@@ -94,43 +103,49 @@ func Fig16(o Options) []Table {
 
 // Fig17 reproduces the parameter-selection sweeps: credit timer T
 // (overhead, buffer, FCT) and the delayCredit threshold (buffer).
+// Both sweeps' runs overlap through one pool submission.
 func Fig17(o Options) []Table {
 	o = o.norm()
-	tt := Table{
-		Title:  "Fig 17a-c: credit timer T sweep (DCQCN+Floodgate, WebServer incastmix)",
-		Header: []string{"T", "creditRate", "ToR-Up", "Core", "ToR-Down", "avgFCT", "p99FCT"},
-	}
-	for _, tUs := range []int{10, 20, 30, 40, 50} {
-		tp := o.leafSpine()
-		cfg := FloodgateConfig(o, baseBDPOf(tp))
-		cfg.CreditTimer = units.Duration(tUs) * units.Microsecond
-		s := WithFloodgateCfg(DCQCN(o), cfg, "+Floodgate")
-		res := runMixWith(o, tp, workload.WebServer, s)
-		avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
-		tt.AddRow(fmt.Sprintf("%dus", tUs),
-			fmtRate(res.Stats.AvgWireRate(stats.WireCredit, res.Duration)),
-			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
-			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
-			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)),
-			fmtDur(avg), fmtDur(p99))
-	}
-	tt.Comment = "paper: larger T -> fewer credit bytes, smaller ToR-Up buffer but larger Core/ToR-Down and worse FCT; T=10us chosen"
-
-	td := Table{
-		Title:  "Fig 17d: delayCredit threshold sweep (x base BDP)",
-		Header: []string{"thre_credit", "ToR-Up", "Core", "ToR-Down"},
-	}
-	for _, mult := range []int{1, 10, 25, 50, 75, 100} {
+	timers := []int{10, 20, 30, 40, 50}
+	mults := []int{1, 10, 25, 50, 75, 100}
+	rows := runJobs(o, len(timers)+len(mults), func(idx int) []string {
+		if idx < len(timers) {
+			tUs := timers[idx]
+			tp := o.leafSpine()
+			cfg := FloodgateConfig(o, baseBDPOf(tp))
+			cfg.CreditTimer = units.Duration(tUs) * units.Microsecond
+			s := WithFloodgateCfg(DCQCN(o), cfg, "+Floodgate")
+			res := runMixWith(o, tp, workload.WebServer, s)
+			avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
+			return []string{fmt.Sprintf("%dus", tUs),
+				fmtRate(res.Stats.AvgWireRate(stats.WireCredit, res.Duration)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)),
+				fmtDur(avg), fmtDur(p99)}
+		}
+		mult := mults[idx-len(timers)]
 		tp := o.leafSpine()
 		bdp := baseBDPOf(tp)
 		cfg := FloodgateConfig(o, bdp)
 		cfg.DelayCreditThresh = units.ByteSize(mult) * bdp
 		s := WithFloodgateCfg(DCQCN(o), cfg, "+Floodgate")
 		res := runMixWith(o, tp, workload.WebServer, s)
-		td.AddRow(fmt.Sprintf("%dBDP", mult),
+		return []string{fmt.Sprintf("%dBDP", mult),
 			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
 			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
-			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)))
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown))}
+	})
+	tt := Table{
+		Title:  "Fig 17a-c: credit timer T sweep (DCQCN+Floodgate, WebServer incastmix)",
+		Header: []string{"T", "creditRate", "ToR-Up", "Core", "ToR-Down", "avgFCT", "p99FCT"},
+		Rows:   rows[:len(timers)],
+	}
+	tt.Comment = "paper: larger T -> fewer credit bytes, smaller ToR-Up buffer but larger Core/ToR-Down and worse FCT; T=10us chosen"
+	td := Table{
+		Title:  "Fig 17d: delayCredit threshold sweep (x base BDP)",
+		Header: []string{"thre_credit", "ToR-Up", "Core", "ToR-Down"},
+		Rows:   rows[len(timers):],
 	}
 	td.Comment = "paper: core buffer lowest for 1-38 BDP and robust across the range; 10 BDP chosen"
 	return []Table{tt, td}
@@ -151,27 +166,28 @@ func Fig18(o Options) []Table {
 		Title:  "Fig 18: wire bandwidth by class (WebServer incastmix)",
 		Header: []string{"scheme", "data", "ctrl", "credit", "credit share"},
 	}
-	for _, mkScheme := range []func(tp *topo.Topology) Scheme{
+	mks := []func(tp *topo.Topology) Scheme{
 		func(tp *topo.Topology) Scheme {
 			cfg := IdealFloodgateConfig(o, baseBDPOf(tp))
 			cfg.PerDstPause = false
 			return WithFloodgateCfg(DCQCN(o), cfg, "+ideal")
 		},
 		func(tp *topo.Topology) Scheme { return WithFloodgate(o, DCQCN(o), baseBDPOf(tp)) },
-	} {
+	}
+	t.Rows = runJobs(o, len(mks), func(idx int) []string {
 		tp := o.leafSpine()
-		s := mkScheme(tp)
+		s := mks[idx](tp)
 		res := runMixWith(o, tp, workload.WebServer, s)
 		data := res.Stats.WireTotal(stats.WireData)
 		ctrl := res.Stats.WireTotal(stats.WireCtrl)
 		credit := res.Stats.WireTotal(stats.WireCredit)
 		total := data + ctrl + credit
-		t.AddRow(s.Name,
+		return []string{s.Name,
 			fmtRate(units.Rate(data, res.Duration)),
 			fmtRate(units.Rate(ctrl, res.Duration)),
 			fmtRate(units.Rate(credit, res.Duration)),
-			fmt.Sprintf("%.3f%%", 100*float64(credit)/float64(total)))
-	}
+			fmt.Sprintf("%.3f%%", 100*float64(credit)/float64(total))}
+	})
 	t.Comment = "paper: credits are 0.175% of bandwidth for Floodgate vs 3.0% for ideal; ctrl (ACK/CNP) ~4.5% for both"
 	return []Table{t}
 }
@@ -180,26 +196,30 @@ func Fig18(o Options) []Table {
 // BFC variants under Memcached and Web Server incast-mix.
 func Fig20(o Options) []Table {
 	o = o.norm()
+	cdfs := []*workload.CDF{workload.Memcached, workload.WebServer}
+	mks := []func(tp *topo.Topology) Scheme{
+		func(tp *topo.Topology) Scheme { return HPCC(o) },
+		func(tp *topo.Topology) Scheme { return WithFloodgate(o, HPCC(o), baseBDPOf(tp)) },
+		func(tp *topo.Topology) Scheme { return BFC(32, false, bfcThresh(tp)) },
+		func(tp *topo.Topology) Scheme { return BFC(128, false, bfcThresh(tp)) },
+		func(tp *topo.Topology) Scheme { return BFC(0, true, bfcThresh(tp)) },
+	}
+	rows := runJobs(o, len(cdfs)*len(mks), func(idx int) []string {
+		cdf := cdfs[idx/len(mks)]
+		tp := o.leafSpine()
+		s := mks[idx%len(mks)](tp)
+		res := runMixWith(o, tp, cdf, s)
+		samples := res.Stats.PoissonFCTs()
+		xs, ys := stats.CDF(samples, 200)
+		avg, _ := stats.FCTStats(samples)
+		return []string{s.Name, pickQ(xs, ys, 0.5), pickQ(xs, ys, 0.9), pickQ(xs, ys, 0.99), fmtDur(avg)}
+	})
 	var tables []Table
-	for _, cdf := range []*workload.CDF{workload.Memcached, workload.WebServer} {
+	for ci, cdf := range cdfs {
 		t := Table{
 			Title:  "Fig 20: vs BFC, " + cdf.Name + " incastmix — Poisson flow FCT",
 			Header: []string{"scheme", "p50", "p90", "p99", "avg"},
-		}
-		for _, mkScheme := range []func(tp *topo.Topology) Scheme{
-			func(tp *topo.Topology) Scheme { return HPCC(o) },
-			func(tp *topo.Topology) Scheme { return WithFloodgate(o, HPCC(o), baseBDPOf(tp)) },
-			func(tp *topo.Topology) Scheme { return BFC(32, false, bfcThresh(tp)) },
-			func(tp *topo.Topology) Scheme { return BFC(128, false, bfcThresh(tp)) },
-			func(tp *topo.Topology) Scheme { return BFC(0, true, bfcThresh(tp)) },
-		} {
-			tp := o.leafSpine()
-			s := mkScheme(tp)
-			res := runMixWith(o, tp, cdf, s)
-			samples := res.Stats.PoissonFCTs()
-			xs, ys := stats.CDF(samples, 200)
-			avg, _ := stats.FCTStats(samples)
-			t.AddRow(s.Name, pickQ(xs, ys, 0.5), pickQ(xs, ys, 0.9), pickQ(xs, ys, 0.99), fmtDur(avg))
+			Rows:   rows[ci*len(mks) : (ci+1)*len(mks)],
 		}
 		t.Comment = "paper: BFC-32Q/128Q suffer HOL via shared queues; BFC-ideal beats Floodgate on Memcached (INT overhead), loses on WebServer"
 		tables = append(tables, t)
@@ -217,24 +237,28 @@ func bfcThresh(tp *topo.Topology) units.ByteSize {
 // incast FCT under Memcached and WebServer incast-mix.
 func Fig23(o Options) []Table {
 	o = o.norm()
+	cdfs := []*workload.CDF{workload.Memcached, workload.WebServer}
+	mks := []func(tp *topo.Topology) Scheme{
+		func(tp *topo.Topology) Scheme { return DCQCN(o) },
+		func(tp *topo.Topology) Scheme { return WithFloodgate(o, DCQCN(o), baseBDPOf(tp)) },
+		func(tp *topo.Topology) Scheme { return NDP(o) },
+	}
+	rows := runJobs(o, len(cdfs)*len(mks), func(idx int) []string {
+		cdf := cdfs[idx/len(mks)]
+		tp := o.leafSpine()
+		s := mks[idx%len(mks)](tp)
+		res := runMixWith(o, tp, cdf, s)
+		avgN, p99N := stats.FCTStats(res.Stats.PoissonFCTs())
+		avgI, p99I := stats.FCTStats(res.Stats.FCTs(stats.CatIncast))
+		return []string{s.Name, fmtDur(avgN), fmtDur(p99N), fmtDur(avgI), fmtDur(p99I),
+			fmt.Sprintf("%d", res.Stats.Trims)}
+	})
 	var tables []Table
-	for _, cdf := range []*workload.CDF{workload.Memcached, workload.WebServer} {
+	for ci, cdf := range cdfs {
 		t := Table{
 			Title:  "Fig 23: vs NDP, " + cdf.Name + " incastmix",
 			Header: []string{"scheme", "non-incast avg", "non-incast p99", "incast avg", "incast p99", "trims"},
-		}
-		for _, mkScheme := range []func(tp *topo.Topology) Scheme{
-			func(tp *topo.Topology) Scheme { return DCQCN(o) },
-			func(tp *topo.Topology) Scheme { return WithFloodgate(o, DCQCN(o), baseBDPOf(tp)) },
-			func(tp *topo.Topology) Scheme { return NDP(o) },
-		} {
-			tp := o.leafSpine()
-			s := mkScheme(tp)
-			res := runMixWith(o, tp, cdf, s)
-			avgN, p99N := stats.FCTStats(res.Stats.PoissonFCTs())
-			avgI, p99I := stats.FCTStats(res.Stats.FCTs(stats.CatIncast))
-			t.AddRow(s.Name, fmtDur(avgN), fmtDur(p99N), fmtDur(avgI), fmtDur(p99I),
-				fmt.Sprintf("%d", res.Stats.Trims))
+			Rows:   rows[ci*len(mks) : (ci+1)*len(mks)],
 		}
 		t.Comment = "paper: NDP beats DCQCN (small buffers) but loses to DCQCN+Floodgate — trimming hits non-incast flows and header bandwidth inflates incast FCT"
 		tables = append(tables, t)
@@ -246,8 +270,35 @@ func Fig23(o Options) []Table {
 // non-blocking and the 4:1 oversubscribed fabric.
 func Fig24(o Options) []Table {
 	o = o.norm()
+	oversubs := []int{1, 4}
+	kinds := []string{"DCQCN", "DCQCN+Floodgate", "DCQCN+PFC w/ tag"}
+	rows := runJobs(o, len(oversubs)*len(kinds), func(idx int) []string {
+		oversub := oversubs[idx/len(kinds)]
+		kind := kinds[idx%len(kinds)]
+		c := topo.DefaultLeafSpine()
+		c.HostsPerToR = o.hostsPerToR()
+		c.Spines = o.spines()
+		c.HostRate = o.rate(c.HostRate)
+		c.SpineRate = o.rate(c.SpineRate)
+		c.Prop = o.stretch(c.Prop)
+		c.Oversubscription = oversub
+		tp := c.Build()
+		var s Scheme
+		switch kind {
+		case "DCQCN":
+			s = DCQCN(o)
+		case "DCQCN+Floodgate":
+			s = WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
+		default:
+			oneHop := tp.Node(tp.Hosts[0]).Ports[0].BDP()
+			s = WithPFCTag(DCQCN(o), oneHop)
+		}
+		res := runMixWith(o, tp, workload.WebServer, s)
+		avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
+		return []string{s.Name, fmtDur(avg), fmtDur(p99), fmt.Sprintf("%d", res.Stats.MaxVOQInUse)}
+	})
 	var tables []Table
-	for _, oversub := range []int{1, 4} {
+	for oi, oversub := range oversubs {
 		name := "non-blocking"
 		if oversub > 1 {
 			name = fmt.Sprintf("%d:1 oversubscribed", oversub)
@@ -255,29 +306,7 @@ func Fig24(o Options) []Table {
 		t := Table{
 			Title:  "Fig 24: vs PFC w/ tag — " + name,
 			Header: []string{"scheme", "avgFCT", "p99FCT", "maxVOQs"},
-		}
-		for _, kind := range []string{"DCQCN", "DCQCN+Floodgate", "DCQCN+PFC w/ tag"} {
-			c := topo.DefaultLeafSpine()
-			c.HostsPerToR = o.hostsPerToR()
-			c.Spines = o.spines()
-			c.HostRate = o.rate(c.HostRate)
-			c.SpineRate = o.rate(c.SpineRate)
-			c.Prop = o.stretch(c.Prop)
-			c.Oversubscription = oversub
-			tp := c.Build()
-			var s Scheme
-			switch kind {
-			case "DCQCN":
-				s = DCQCN(o)
-			case "DCQCN+Floodgate":
-				s = WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
-			default:
-				oneHop := tp.Node(tp.Hosts[0]).Ports[0].BDP()
-				s = WithPFCTag(DCQCN(o), oneHop)
-			}
-			res := runMixWith(o, tp, workload.WebServer, s)
-			avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
-			t.AddRow(s.Name, fmtDur(avg), fmtDur(p99), fmt.Sprintf("%d", res.Stats.MaxVOQInUse))
+			Rows:   rows[oi*len(kinds) : (oi+1)*len(kinds)],
 		}
 		t.Comment = "paper: comparable on non-blocking fabric but PFC w/ tag uses 10x more VOQs; Floodgate wins when the first hop congests (oversubscription)"
 		tables = append(tables, t)

@@ -17,9 +17,14 @@ import (
 // Floodgate.
 func Fig2(o Options) []Table {
 	o = o.norm()
-	var tables []Table
-	tp := o.leafSpine()
-	for _, s := range []Scheme{DCQCN(o), WithFloodgate(o, DCQCN(o), baseBDPOf(tp))} {
+	// One job per scheme, each building its own topology and run; the
+	// per-scheme tables assemble in submission order.
+	return runJobs(o, 2, func(idx int) Table {
+		tp := o.leafSpine()
+		s := DCQCN(o)
+		if idx == 1 {
+			s = WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
+		}
 		res := runIncastMixStress(o, workload.WebServer, s)
 		t := Table{
 			Title:  "Fig 2: realtime throughput, WebServer incastmix — " + s.Name,
@@ -48,9 +53,8 @@ func Fig2(o Options) []Table {
 			}
 		}
 		t.Comment = fmt.Sprintf("first victim-of-incast delivery at %v; paper: 1.8ms w/o Floodgate, immediate with", firstVictim)
-		tables = append(tables, t)
-	}
-	return tables
+		return t
+	})
 }
 
 func maxLen(ns ...int) int {

@@ -26,7 +26,9 @@ func Fig6(o Options) []Table {
 		Title:  "Fig 6b: testbed max per-port buffer",
 		Header: []string{"scheme", "ToR-Up", "Core", "ToR-Down"},
 	}
-	for _, withFG := range []bool{false, true} {
+	type fig6Rows struct{ fct, buf []string }
+	rows := runJobs(o, 2, func(idx int) fig6Rows {
+		withFG := idx == 1
 		tp := topo.DefaultTestbed().Build()
 		bdp := units.BDP(10*units.Gbps, 8*4500*units.Nanosecond) // 45KB
 		s := Scheme{Name: "w/o Floodgate", CC: cc.NewFixedWindow()}
@@ -61,11 +63,17 @@ func Fig6(o Options) []Table {
 		})
 		avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
 		vAvg, vP99 := stats.FCTStats(res.Stats.FCTs(stats.CatVictimIncast))
-		fct.AddRow(s.Name, fmtDur(avg), fmtDur(p99), fmtDur(vAvg), fmtDur(vP99))
-		buf.AddRow(s.Name,
-			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
-			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
-			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)))
+		return fig6Rows{
+			fct: []string{s.Name, fmtDur(avg), fmtDur(p99), fmtDur(vAvg), fmtDur(vP99)},
+			buf: []string{s.Name,
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown))},
+		}
+	})
+	for _, r := range rows {
+		fct.AddRow(r.fct...)
+		buf.AddRow(r.buf...)
 	}
 	fct.Comment = "paper: avg FCT -30.6%, p99 1.6x lower; at simulated line rates the HOL term is below Poisson noise (see EXPERIMENTS.md)"
 	buf.Comment = "paper: ToR-Down 17.2x and Core 1.8x smaller; ToR-Up slightly larger (source-side taming)"

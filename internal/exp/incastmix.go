@@ -83,23 +83,31 @@ func schemeTriple(o Options, base func(Options) Scheme, tp *topo.Topology) []Sch
 func Fig8(o Options, ccName string) []Table {
 	o = o.norm()
 	bases := map[string]func(Options) Scheme{"DCQCN": DCQCN, "TIMELY": TIMELY, "HPCC": HPCC}
-	order := []string{"DCQCN", "TIMELY", "HPCC"}
-	var tables []Table
-	for _, cc := range order {
-		if ccName != "" && cc != ccName {
-			continue
+	var order []string
+	for _, cc := range []string{"DCQCN", "TIMELY", "HPCC"} {
+		if ccName == "" || cc == ccName {
+			order = append(order, cc)
 		}
+	}
+	// Flatten every (cc × workload × scheme) run into one pool
+	// submission; per-CC tables slice the rows back out in order.
+	nW, nS := len(workload.Workloads), 3
+	perCC := nW * nS
+	rows := runJobs(o, len(order)*perCC, func(idx int) []string {
+		cc := order[idx/perCC]
+		cdf := workload.Workloads[(idx%perCC)/nS]
+		s := schemeTriple(o, bases[cc], o.leafSpine())[idx%nS]
+		res := runIncastMixStress(o, cdf, s)
+		avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
+		return []string{cdf.Name, s.Name, fmtDur(avg), fmtDur(p99),
+			fmt.Sprintf("%d/%d", res.Completed, res.Total)}
+	})
+	var tables []Table
+	for ci, cc := range order {
 		t := Table{
 			Title:  fmt.Sprintf("Fig 8 (%s): avg/p99 FCT of Poisson flows, incastmix", cc),
 			Header: []string{"workload", "scheme", "avgFCT", "p99FCT", "flows"},
-		}
-		for _, cdf := range workload.Workloads {
-			for _, s := range schemeTriple(o, bases[cc], o.leafSpine()) {
-				res := runIncastMixStress(o, cdf, s)
-				avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
-				t.AddRow(cdf.Name, s.Name, fmtDur(avg), fmtDur(p99),
-					fmt.Sprintf("%d/%d", res.Completed, res.Total))
-			}
+			Rows:   rows[ci*perCC : (ci+1)*perCC],
 		}
 		t.Comment = "paper: Floodgate cuts avg FCT 10.1%-98.1%, p99 1.1x-207x (largest on Memcached/WebServer)"
 		tables = append(tables, t)
@@ -111,8 +119,8 @@ func Fig8(o Options, ccName string) []Table {
 // victim of PFC) under the Web Server incast-mix.
 func Fig9(o Options) []Table {
 	o = o.norm()
-	var tables []Table
-	for _, s := range schemeTriple(o, DCQCN, o.leafSpine()) {
+	return runJobs(o, 3, func(idx int) Table {
+		s := schemeTriple(o, DCQCN, o.leafSpine())[idx]
 		res := runIncastMixStress(o, workload.WebServer, s)
 		t := Table{
 			Title:  "Fig 9: FCT CDF by category, Web Server incastmix — " + s.Name,
@@ -124,9 +132,8 @@ func Fig9(o Options) []Table {
 				fmt.Sprintf("%d", len(res.Stats.FCTs(cat))))
 		}
 		t.Comment = "paper: Floodgate removes the HOL-blocking tail for both victim classes without hurting incast flows"
-		tables = append(tables, t)
-	}
-	return tables
+		return t
+	})
 }
 
 func pickQ(xs []units.Duration, ys []float64, q float64) string {
@@ -148,15 +155,26 @@ func Fig10(o Options) []Table {
 		Title:  "Fig 10: maximum switch buffer occupancy, incastmix",
 		Header: []string{"workload", "scheme", "maxSwitchBuf", "vs plain"},
 	}
-	for _, cdf := range workload.Workloads {
+	// The "vs plain" column needs each workload's first (plain) result,
+	// so jobs return raw buffers and the ratio is computed at assembly.
+	type fig10Res struct {
+		cdf, scheme string
+		buf         units.ByteSize
+	}
+	results := runJobs(o, len(workload.Workloads)*3, func(idx int) fig10Res {
+		cdf := workload.Workloads[idx/3]
+		s := schemeTriple(o, DCQCN, o.leafSpine())[idx%3]
+		res := runIncastMix(o, cdf, s)
+		return fig10Res{cdf.Name, s.Name, res.Stats.MaxSwitchBuffer()}
+	})
+	for ci := range workload.Workloads {
 		var plain float64
-		for _, s := range schemeTriple(o, DCQCN, o.leafSpine()) {
-			res := runIncastMix(o, cdf, s)
-			buf := res.Stats.MaxSwitchBuffer()
+		for si := 0; si < 3; si++ {
+			r := results[ci*3+si]
 			if plain == 0 {
-				plain = float64(buf)
+				plain = float64(r.buf)
 			}
-			t.AddRow(cdf.Name, s.Name, fmtBytes(buf), fmtRatio(plain, float64(buf)))
+			t.AddRow(r.cdf, r.scheme, fmtBytes(r.buf), fmtRatio(plain, float64(r.buf)))
 		}
 	}
 	t.Comment = "paper: Floodgate reduces max buffer 2.4x-3.7x; ideal reduces it further"
@@ -171,15 +189,18 @@ func Table2(o Options) []Table {
 		Title:  "Table 2: PFC triggered time (DCQCN), incastmix",
 		Header: []string{"workload", "scheme", "Host", "ToR", "Core"},
 	}
-	for _, cdf := range workload.Workloads {
-		for _, s := range []Scheme{DCQCN(o), WithFloodgate(o, DCQCN(o), baseBDPOf(o.leafSpine()))} {
-			res := runIncastMixStress(o, cdf, s)
-			t.AddRow(cdf.Name, s.Name,
-				fmtDur(res.Stats.PFCPauseTime(topo.LayerHost)),
-				fmtDur(res.Stats.PFCPauseTime(topo.LayerToR)),
-				fmtDur(res.Stats.PFCPauseTime(topo.LayerCore)))
+	t.Rows = runJobs(o, len(workload.Workloads)*2, func(idx int) []string {
+		cdf := workload.Workloads[idx/2]
+		s := DCQCN(o)
+		if idx%2 == 1 {
+			s = WithFloodgate(o, DCQCN(o), baseBDPOf(o.leafSpine()))
 		}
-	}
+		res := runIncastMixStress(o, cdf, s)
+		return []string{cdf.Name, s.Name,
+			fmtDur(res.Stats.PFCPauseTime(topo.LayerHost)),
+			fmtDur(res.Stats.PFCPauseTime(topo.LayerToR)),
+			fmtDur(res.Stats.PFCPauseTime(topo.LayerCore))}
+	})
 	t.Comment = "paper: DCQCN pauses cores on every workload (frame storm on Web Server); Floodgate triggers no PFC"
 	return []Table{t}
 }
@@ -188,8 +209,25 @@ func Table2(o Options) []Table {
 // time split (b) for Web Server and Hadoop.
 func Fig11(o Options) []Table {
 	o = o.norm()
+	cdfs := []*workload.CDF{workload.WebServer, workload.Hadoop}
+	type fig11Rows struct{ a, b []string }
+	rows := runJobs(o, len(cdfs)*3, func(idx int) fig11Rows {
+		cdf := cdfs[idx/3]
+		s := schemeTriple(o, DCQCN, o.leafSpine())[idx%3]
+		res := runIncastMixStress(o, cdf, s)
+		return fig11Rows{
+			a: []string{s.Name,
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown))},
+			b: []string{s.Name,
+				fmtDur(res.Stats.AvgQueueDelay(topo.ClassToRUp)),
+				fmtDur(res.Stats.AvgQueueDelay(topo.ClassCore)),
+				fmtDur(res.Stats.AvgQueueDelay(topo.ClassToRDown))},
+		}
+	})
 	var tables []Table
-	for _, cdf := range []*workload.CDF{workload.WebServer, workload.Hadoop} {
+	for ci, cdf := range cdfs {
 		a := Table{
 			Title:  "Fig 11a: max per-port buffer by hop — " + cdf.Name,
 			Header: []string{"scheme", "ToR-Up", "Core", "ToR-Down"},
@@ -198,16 +236,9 @@ func Fig11(o Options) []Table {
 			Title:  "Fig 11b: avg queuing time of non-incast flows by hop — " + cdf.Name,
 			Header: []string{"scheme", "ToR-Up", "Core", "ToR-Down"},
 		}
-		for _, s := range schemeTriple(o, DCQCN, o.leafSpine()) {
-			res := runIncastMixStress(o, cdf, s)
-			a.AddRow(s.Name,
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)))
-			b.AddRow(s.Name,
-				fmtDur(res.Stats.AvgQueueDelay(topo.ClassToRUp)),
-				fmtDur(res.Stats.AvgQueueDelay(topo.ClassCore)),
-				fmtDur(res.Stats.AvgQueueDelay(topo.ClassToRDown)))
+		for si := 0; si < 3; si++ {
+			a.AddRow(rows[ci*3+si].a...)
+			b.AddRow(rows[ci*3+si].b...)
 		}
 		a.Comment = "paper: Floodgate shifts buffer from Core/ToR-Down to ToR-Up (source-side taming)"
 		b.Comment = "paper: queuing time at every hop shrinks; parked incast bytes do not delay non-incast flows"
@@ -224,13 +255,13 @@ func Fig21(o Options) []Table {
 		Title:  "Fig 21: FCT of incast flows under incastmix",
 		Header: []string{"workload", "scheme", "avgFCT", "p99FCT"},
 	}
-	for _, cdf := range workload.Workloads {
-		for _, s := range schemeTriple(o, DCQCN, o.leafSpine()) {
-			res := runIncastMixStress(o, cdf, s)
-			avg, p99 := stats.FCTStats(res.Stats.FCTs(stats.CatIncast))
-			t.AddRow(cdf.Name, s.Name, fmtDur(avg), fmtDur(p99))
-		}
-	}
+	t.Rows = runJobs(o, len(workload.Workloads)*3, func(idx int) []string {
+		cdf := workload.Workloads[idx/3]
+		s := schemeTriple(o, DCQCN, o.leafSpine())[idx%3]
+		res := runIncastMixStress(o, cdf, s)
+		avg, p99 := stats.FCTStats(res.Stats.FCTs(stats.CatIncast))
+		return []string{cdf.Name, s.Name, fmtDur(avg), fmtDur(p99)}
+	})
 	t.Comment = "paper: Floodgate leaves incast FCT intact (slight gain); ideal trades a bit of incast FCT for victims"
 	return []Table{t}
 }
@@ -243,20 +274,20 @@ func Fig22(o Options) []Table {
 		Title:  "Fig 22: avg/p99 FCT under pure Poisson (no incast)",
 		Header: []string{"workload", "scheme", "avgFCT", "p99FCT", "VOQs"},
 	}
-	for _, cdf := range workload.Workloads {
+	t.Rows = runJobs(o, len(workload.Workloads)*3, func(idx int) []string {
+		cdf := workload.Workloads[idx/3]
 		tp := o.leafSpine()
 		dur := o.duration(fullIncastMixDuration)
 		hostRate := tp.Node(tp.Hosts[0]).Ports[0].Rate
-		for _, s := range schemeTriple(o, DCQCN, tp) {
-			specs := workload.Poisson(workload.PoissonConfig{
-				CDF: cdf, Load: 0.8, Hosts: tp.Hosts, HostRate: hostRate, Until: dur,
-			}, newRand(o.Seed))
-			res := Run(RunConfig{Topo: o.leafSpine(), Scheme: s, Specs: specs, Duration: dur, Seed: o.Seed})
-			avg, p99 := stats.FCTStats(res.Stats.AllFCTs())
-			t.AddRow(cdf.Name, s.Name, fmtDur(avg), fmtDur(p99),
-				fmt.Sprintf("%d", res.Stats.MaxVOQInUse))
-		}
-	}
+		s := schemeTriple(o, DCQCN, tp)[idx%3]
+		specs := workload.Poisson(workload.PoissonConfig{
+			CDF: cdf, Load: 0.8, Hosts: tp.Hosts, HostRate: hostRate, Until: dur,
+		}, newRand(o.Seed))
+		res := Run(RunConfig{Topo: o.leafSpine(), Scheme: s, Specs: specs, Duration: dur, Seed: o.Seed})
+		avg, p99 := stats.FCTStats(res.Stats.AllFCTs())
+		return []string{cdf.Name, s.Name, fmtDur(avg), fmtDur(p99),
+			fmt.Sprintf("%d", res.Stats.MaxVOQInUse)}
+	})
 	t.Comment = "paper: no false incast identification; Floodgate FCT == DCQCN, ideal slightly worse (credit overhead)"
 	return []Table{t}
 }

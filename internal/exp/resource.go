@@ -64,15 +64,15 @@ func SwiftCompat(o Options) []Table {
 		Title:  "Extension: Swift ± Floodgate (WebServer incastmix)",
 		Header: []string{"scheme", "poisson avg", "poisson p99", "maxSwitchBuf"},
 	}
-	for _, mk := range []func() Scheme{
-		func() Scheme { return SWIFT(o) },
-		func() Scheme { return WithFloodgate(o, SWIFT(o), baseBDPOf(o.leafSpine())) },
-	} {
-		s := mk()
+	t.Rows = runJobs(o, 2, func(idx int) []string {
+		s := SWIFT(o)
+		if idx == 1 {
+			s = WithFloodgate(o, SWIFT(o), baseBDPOf(o.leafSpine()))
+		}
 		res := runMixWith(o, o.leafSpine(), workload.WebServer, s)
 		avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
-		t.AddRow(s.Name, fmtDur(avg), fmtDur(p99), fmtBytes(res.Stats.MaxSwitchBuffer()))
-	}
+		return []string{s.Name, fmtDur(avg), fmtDur(p99), fmtBytes(res.Stats.MaxSwitchBuffer())}
+	})
 	t.Comment = "the hop-by-hop layer composes with a fourth, delay-based CC unchanged"
 	return []Table{t}
 }

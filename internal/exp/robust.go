@@ -19,8 +19,16 @@ func Fig12(o Options) []Table {
 		Title:  "Fig 12: throughput under injected credit loss (DCQCN+Floodgate)",
 		Header: []string{"lossRate", "avg goodput", "vs lossless", "drops", "completed"},
 	}
-	var lossless float64
-	for _, loss := range []float64{0, 0.05, 0.10} {
+	// The "vs lossless" column needs the loss=0 run, so jobs return raw
+	// measurements and ratios are computed at assembly.
+	losses := []float64{0, 0.05, 0.10}
+	type fig12Res struct {
+		goodput          units.BitRate
+		drops            int64
+		completed, total int
+	}
+	results := runJobs(o, len(losses), func(idx int) fig12Res {
+		loss := losses[idx]
 		tp := o.leafSpine()
 		dur := o.duration(fullIncastMixDuration)
 		specs := incastMixSpecs(tp, workload.WebServer, dur, o.Seed, incastDegree(tp))
@@ -37,14 +45,15 @@ func Fig12(o Options) []Table {
 				rx += b
 			}
 		}
-		goodput := units.Rate(rx, dur)
-		if loss == 0 {
-			lossless = float64(goodput)
-		}
-		t.AddRow(fmt.Sprintf("%.0f%%", loss*100), fmtRate(goodput),
-			fmtRatio(float64(goodput), lossless),
-			fmt.Sprintf("%d", res.Stats.Drops),
-			fmt.Sprintf("%d/%d", res.Completed, res.Total))
+		return fig12Res{units.Rate(rx, dur), res.Stats.Drops, res.Completed, res.Total}
+	})
+	lossless := float64(results[0].goodput)
+	for i, loss := range losses {
+		r := results[i]
+		t.AddRow(fmt.Sprintf("%.0f%%", loss*100), fmtRate(r.goodput),
+			fmtRatio(float64(r.goodput), lossless),
+			fmt.Sprintf("%d", r.drops),
+			fmt.Sprintf("%d/%d", r.completed, r.total))
 	}
 	t.Comment = "paper: 5% loss has no visible effect; 10% fluctuates slightly — switch windows recover via PSN credits"
 	return []Table{t}
@@ -71,19 +80,30 @@ func Fig13(o Options) []Table {
 		Title:  "Fig 13b: fat tree per-hop max buffer — Hadoop",
 		Header: []string{"scheme", "Edge-Up", "Agg-Up", "Core", "Agg-Down", "Edge-Down"},
 	}
-	for _, cdf := range []*workload.CDF{workload.Memcached, workload.Hadoop} {
-		for _, s := range schemes {
-			res := runFatTreeMix(o, tp, cdf, s)
-			avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
-			fct.AddRow(cdf.Name, s.Name, fmtDur(avg), fmtDur(p99))
-			if cdf == workload.Hadoop {
-				buf.AddRow(s.Name,
-					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
-					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassAggUp)),
-					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
-					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassAggDown)),
-					fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)))
-			}
+	cdfs := []*workload.CDF{workload.Memcached, workload.Hadoop}
+	type fig13Rows struct{ fct, buf []string }
+	// All six runs share one built fat tree: Topology is immutable
+	// after Build() (see topo.Topology), so concurrent runs only read it.
+	rows := runJobs(o, len(cdfs)*len(schemes), func(idx int) fig13Rows {
+		cdf := cdfs[idx/len(schemes)]
+		s := schemes[idx%len(schemes)]
+		res := runFatTreeMix(o, tp, cdf, s)
+		avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
+		out := fig13Rows{fct: []string{cdf.Name, s.Name, fmtDur(avg), fmtDur(p99)}}
+		if cdf == workload.Hadoop {
+			out.buf = []string{s.Name,
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassAggUp)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassAggDown)),
+				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown))}
+		}
+		return out
+	})
+	for _, r := range rows {
+		fct.AddRow(r.fct...)
+		if r.buf != nil {
+			buf.AddRow(r.buf...)
 		}
 	}
 	fct.Comment = "paper: Floodgate still wins, by less than in 2-tier (fewer hosts per rack, fewer victims)"
@@ -106,40 +126,40 @@ func runFatTreeMix(o Options, tp *topo.Topology, cdf *workload.CDF, s Scheme) *R
 // DCQCN+Floodgate.
 func Fig14(o Options) []Table {
 	o = o.norm()
-	var tables []Table
-	for _, fg := range []bool{false, true} {
-		name := "DCQCN"
+	torCounts := []int{20, 40, 60, 80}
+	rows := runJobs(o, 2*len(torCounts), func(idx int) []string {
+		fg := idx/len(torCounts) == 1
+		tors := torCounts[idx%len(torCounts)]
+		c := topo.DefaultLeafSpine()
+		c.ToRs = tors
+		c.HostsPerToR = o.hostsPerToR()
+		c.Spines = o.spines()
+		c.HostRate = o.rate(c.HostRate)
+		c.SpineRate = o.rate(c.SpineRate)
+		c.Prop = o.stretch(c.Prop)
+		tp := c.Build()
+		s := DCQCN(o)
 		if fg {
-			name = "DCQCN+Floodgate"
+			s = WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
 		}
+		specs := pureIncastSpecs(tp, o.Seed)
+		res := Run(RunConfig{
+			Topo: tp, Scheme: s, Specs: specs,
+			Duration: 2 * units.Millisecond, Seed: o.Seed, Opt: o,
+			Drain: 100 * units.Millisecond,
+		})
+		return []string{fmt.Sprintf("%d", tors),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)),
+			fmtBytes(res.Stats.MaxSwitchBuffer())}
+	})
+	var tables []Table
+	for fi, name := range []string{"DCQCN", "DCQCN+Floodgate"} {
 		t := Table{
 			Title:  "Fig 14: buffer vs fabric size (pure incast) — " + name,
 			Header: []string{"#ToR", "ToR-Up", "Core", "ToR-Down", "maxSwitch"},
-		}
-		for _, tors := range []int{20, 40, 60, 80} {
-			c := topo.DefaultLeafSpine()
-			c.ToRs = tors
-			c.HostsPerToR = o.hostsPerToR()
-			c.Spines = o.spines()
-			c.HostRate = o.rate(c.HostRate)
-			c.SpineRate = o.rate(c.SpineRate)
-			c.Prop = o.stretch(c.Prop)
-			tp := c.Build()
-			s := DCQCN(o)
-			if fg {
-				s = WithFloodgate(o, DCQCN(o), baseBDPOf(tp))
-			}
-			specs := pureIncastSpecs(tp, o.Seed)
-			res := Run(RunConfig{
-				Topo: tp, Scheme: s, Specs: specs,
-				Duration: 2 * units.Millisecond, Seed: o.Seed, Opt: o,
-				Drain: 100 * units.Millisecond,
-			})
-			t.AddRow(fmt.Sprintf("%d", tors),
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)),
-				fmtBytes(res.Stats.MaxSwitchBuffer()))
+			Rows:   rows[fi*len(torCounts) : (fi+1)*len(torCounts)],
 		}
 		t.Comment = "paper: DCQCN's ToR-Down grows with #flows (PFC at 20+ ToRs); Floodgate stays flat (delayCredit caps cores)"
 		tables = append(tables, t)
@@ -167,30 +187,35 @@ func Fig15(o Options) []Table {
 			}
 		}
 	}
-	for _, name := range []string{"DCQCN", "DCQCN+Floodgate", "DCQCN+Floodgate (per-dst PAUSE)"} {
+	names := []string{"DCQCN", "DCQCN+Floodgate", "DCQCN+Floodgate (per-dst PAUSE)"}
+	counts := []int{4, 8, 12, 16, 20, 24}
+	rows := runJobs(o, len(names)*len(counts), func(idx int) []string {
+		name := names[idx/len(counts)]
+		times := counts[idx%len(counts)]
+		tp := o.leafSpine()
+		s := mk(name)(tp)
+		hostRate := tp.Node(tp.Hosts[0]).Ports[0].Rate
+		// Gap = nominal drain time of one event, so events pile up.
+		event := units.ByteSize(len(tp.Hosts)-1) * 35 * mtu
+		gap := units.TxTime(event, hostRate) / 4 // successive: events arrive faster than they drain
+		specs := workload.SuccessiveIncast(tp.Hosts, times, gap, 30*mtu, 40*mtu, newRand(o.Seed))
+		res := Run(RunConfig{
+			Topo: tp, Scheme: s, Specs: specs,
+			Duration: units.Duration(times+2) * gap,
+			Drain:    200 * units.Millisecond,
+			Seed:     o.Seed, Opt: o,
+			BufferSize: stressBuffer(tp), // the storm regime (see stressBuffer)
+		})
+		return []string{fmt.Sprintf("%d", times),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
+			fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown))}
+	})
+	for ni, name := range names {
 		t := Table{
 			Title:  "Fig 15: successive incast — " + name,
 			Header: []string{"#incasts", "ToR-Up", "Core", "ToR-Down"},
-		}
-		for _, times := range []int{4, 8, 12, 16, 20, 24} {
-			tp := o.leafSpine()
-			s := mk(name)(tp)
-			hostRate := tp.Node(tp.Hosts[0]).Ports[0].Rate
-			// Gap = nominal drain time of one event, so events pile up.
-			event := units.ByteSize(len(tp.Hosts)-1) * 35 * mtu
-			gap := units.TxTime(event, hostRate) / 4 // successive: events arrive faster than they drain
-			specs := workload.SuccessiveIncast(tp.Hosts, times, gap, 30*mtu, 40*mtu, newRand(o.Seed))
-			res := Run(RunConfig{
-				Topo: tp, Scheme: s, Specs: specs,
-				Duration: units.Duration(times+2) * gap,
-				Drain:    200 * units.Millisecond,
-				Seed:     o.Seed, Opt: o,
-				BufferSize: stressBuffer(tp), // the storm regime (see stressBuffer)
-			})
-			t.AddRow(fmt.Sprintf("%d", times),
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRUp)),
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassCore)),
-				fmtBytes(res.Stats.MaxClassBuffer(topo.ClassToRDown)))
+			Rows:   rows[ni*len(counts) : (ni+1)*len(counts)],
 		}
 		t.Comment = "paper: DCQCN fills ToR-Down/Core (storm by 12 incasts); Floodgate's ToR-Up grows with #incasts; per-dst PAUSE keeps everything tiny"
 		tables = append(tables, t)

@@ -21,6 +21,11 @@ type Options struct {
 	Scale float64
 	// Seed drives workload generation and every stochastic tie-break.
 	Seed uint64
+	// Parallelism caps how many independent simulations run
+	// concurrently: 0 uses every core (GOMAXPROCS), 1 reproduces the
+	// serial path exactly, n > 1 uses an n-worker pool. Output is
+	// bit-identical at every setting (see parallel.go).
+	Parallelism int
 }
 
 // DefaultOptions returns a laptop-friendly scale.

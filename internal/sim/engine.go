@@ -60,6 +60,7 @@ type Engine struct {
 	heap    []heapEnt
 	events  []event
 	free    []int32
+	live    int // heap entries whose event is still scheduled
 	stopped bool
 
 	// Processed counts events executed since creation (for reporting).
@@ -103,6 +104,7 @@ func (e *Engine) schedule(t units.Time, fn func(), argFn func(any), arg any) Han
 	gen := ev.gen
 	ent := heapEnt{at: t, seq: e.seq, slot: slot, gen: gen}
 	e.seq++
+	e.live++
 	e.push(ent)
 	return Handle{e, slot, gen}
 }
@@ -135,28 +137,49 @@ func (e *Engine) AfterArg(d units.Duration, fn func(any), arg any) Handle {
 }
 
 // Cancel removes a pending event (lazily: its heap entry is skipped
-// when it surfaces). Cancelling an already-fired, already-cancelled,
-// or zero handle is a no-op.
+// when it surfaces, or swept in bulk once dead entries outnumber live
+// ones). Cancelling an already-fired, already-cancelled, or zero
+// handle is a no-op.
 func (e *Engine) Cancel(h Handle) {
 	if !h.Active() {
 		return
 	}
 	e.recycle(h.slot)
+	e.live--
+	// Cancel-heavy workloads (e.g. go-back-N RTO rescheduling) would
+	// otherwise bloat the heap with dead entries that are only shed
+	// when they surface; compact once they dominate.
+	if dead := len(e.heap) - e.live; dead > len(e.heap)/2 && len(e.heap) >= minCompactLen {
+		e.compact()
+	}
+}
+
+// minCompactLen keeps compaction from thrashing on tiny heaps, where
+// lazy skipping is already cheap.
+const minCompactLen = 64
+
+// compact drops every dead (cancelled) entry and restores the heap
+// invariant. Sift order uses the same (time, seq) comparator as push
+// and pop, so the surviving entries fire in an identical order and
+// determinism is unaffected.
+func (e *Engine) compact() {
+	kept := e.heap[:0]
+	for _, ent := range e.heap {
+		if e.events[ent.slot].gen == ent.gen {
+			kept = append(kept, ent)
+		}
+	}
+	e.heap = kept
+	for i := (len(kept) - 2) / heapArity; i >= 0 && len(kept) > 1; i-- {
+		e.down(i)
+	}
 }
 
 // Stop makes Run return after the event currently executing completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending reports the number of live events still queued.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ent := range e.heap {
-		if e.events[ent.slot].gen == ent.gen {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live events still queued in O(1).
+func (e *Engine) Pending() int { return e.live }
 
 // Run executes events in timestamp order until the queue empties, Stop
 // is called, or the next event would fire after `until`. The clock is
@@ -191,6 +214,7 @@ func (e *Engine) step() {
 	if ev.gen != ent.gen {
 		return // lazily cancelled
 	}
+	e.live--
 	e.now = ent.at
 	e.Processed++
 	fn, argFn, arg := ev.fn, ev.argFn, ev.arg

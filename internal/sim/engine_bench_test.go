@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+
+	"floodgate/internal/units"
+)
+
+// BenchmarkEngineCorePushPop measures raw schedule/execute throughput:
+// every iteration schedules one event and executes one, the heap
+// holding a steady backlog.
+func BenchmarkEngineCorePushPop(b *testing.B) {
+	for _, backlog := range []int{16, 1024, 65536} {
+		b.Run(benchName("backlog", backlog), func(b *testing.B) {
+			e := NewEngine()
+			n := 0
+			count := func() { n++ }
+			t := units.Time(0)
+			for i := 0; i < backlog; i++ {
+				t = t.Add(units.Nanosecond)
+				e.At(t, count)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t = t.Add(units.Nanosecond)
+				e.At(t, count)
+				e.Run(e.heap[0].at)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCoreAfterArg exercises the zero-alloc hot path:
+// a pre-built capture-free callback rescheduling itself via a pointer
+// argument. Steady state must not allocate (asserted by
+// TestAfterArgZeroAlloc; the benchmark reports allocs/op as evidence).
+func BenchmarkEngineCoreAfterArg(b *testing.B) {
+	e := NewEngine()
+	type payload struct{ n int }
+	p := &payload{}
+	var fn func(any)
+	fn = func(a any) {
+		a.(*payload).n++
+		e.AfterArg(units.Nanosecond, fn, a)
+	}
+	e.AfterArg(units.Nanosecond, fn, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(e.heap[0].at)
+	}
+}
+
+// BenchmarkEngineCoreCancel measures the cancel-heavy regime that the
+// heap compaction targets: every scheduled timer is cancelled and
+// rescheduled before it fires (the go-back-N RTO pattern).
+func BenchmarkEngineCoreCancel(b *testing.B) {
+	for _, timers := range []int{64, 4096} {
+		b.Run(benchName("timers", timers), func(b *testing.B) {
+			e := NewEngine()
+			nop := func() {}
+			handles := make([]Handle, timers)
+			horizon := units.Duration(timers) * units.Microsecond
+			for i := range handles {
+				handles[i] = e.After(horizon, nop)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % timers
+				e.Cancel(handles[j])
+				handles[j] = e.After(horizon, nop)
+			}
+		})
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestAfterArgZeroAlloc asserts the AfterArg hot path allocates nothing
+// once the event slab and heap are warm: the callback is capture-free
+// and the pointer argument does not box.
+func TestAfterArgZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	type payload struct{ n int }
+	p := &payload{}
+	var fn func(any)
+	fn = func(a any) {
+		a.(*payload).n++
+		e.AfterArg(units.Nanosecond, fn, a)
+	}
+	e.AfterArg(units.Nanosecond, fn, p)
+	// Warm the slab and heap.
+	for i := 0; i < 64; i++ {
+		e.Run(e.heap[0].at)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Run(e.heap[0].at)
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterArg hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+	if p.n == 0 {
+		t.Fatal("callback never ran")
+	}
+}
+
+// TestHeapCompaction covers the dead-entry sweep: a cancel-heavy
+// workload must not grow the heap beyond ~2x the live count, Pending
+// must stay exact, and the surviving events must fire in timestamp
+// order exactly as they would without compaction.
+func TestHeapCompaction(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	const keep = 100
+	// Schedule `keep` survivors interleaved with 50x as many victims,
+	// then cancel every victim.
+	var victims []Handle
+	for i := 0; i < keep; i++ {
+		i := i
+		e.At(units.Time(2*i+1), func() { fired = append(fired, i) })
+		for j := 0; j < 50; j++ {
+			victims = append(victims, e.At(units.Time(2*i+2), func() { t.Error("cancelled event fired") }))
+		}
+	}
+	for _, h := range victims {
+		e.Cancel(h)
+	}
+	if got := e.Pending(); got != keep {
+		t.Fatalf("Pending = %d, want %d", got, keep)
+	}
+	if len(e.heap) > 2*keep {
+		t.Fatalf("heap not compacted: len %d for %d live", len(e.heap), keep)
+	}
+	e.RunAll()
+	if len(fired) != keep {
+		t.Fatalf("fired %d, want %d", len(fired), keep)
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("order broken at %d: got %d", i, v)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", e.Pending())
+	}
+}
+
+// TestCompactionPreservesTieBreak pins determinism across a sweep:
+// same-timestamp events must still fire in scheduling order after a
+// compaction rebuilt the heap.
+func TestCompactionPreservesTieBreak(t *testing.T) {
+	e := NewEngine()
+	const at = units.Time(1000)
+	var order []int
+	var victims []Handle
+	for i := 0; i < minCompactLen; i++ {
+		i := i
+		e.At(at, func() { order = append(order, i) })
+		victims = append(victims, e.At(at, func() {}))
+	}
+	for _, h := range victims {
+		e.Cancel(h)
+	}
+	e.RunAll()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("FIFO tie-break broken after compaction: %v", order)
+		}
+	}
+	if len(order) != minCompactLen {
+		t.Fatalf("fired %d, want %d", len(order), minCompactLen)
+	}
+}

@@ -102,7 +102,10 @@ type Node struct {
 }
 
 // Topology is an immutable network graph with precomputed multipath
-// routes from every node to every host.
+// routes from every node to every host. Immutability is load-bearing:
+// after Build() nothing writes to nodes, ports or routes (the device
+// layer only takes pointers into them), so one Topology may be shared
+// by concurrent simulation runs (exp.RunMany) without synchronisation.
 type Topology struct {
 	Nodes []*Node
 	Hosts []packet.NodeID // all host IDs in ID order
