@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet lint bench ci
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,20 @@ test:
 	$(GO) test ./...
 
 # Race-check the parallel executor (the rest of the suite is
-# single-goroutine per run; exp is where concurrency lives).
+# single-goroutine per run; exp is where concurrency lives). The
+# simdebug tag arms the packet-pool lifecycle assertions, so the same
+# run also catches double-release / use-after-release bugs.
 race:
-	$(GO) test -race -timeout 3600s ./internal/exp/...
+	$(GO) test -race -tags simdebug -timeout 3600s ./internal/exp/...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet plus floodlint, the in-tree analyzer suite
+# that enforces the determinism, pooling and units invariants
+# (see DESIGN.md §7). Nonzero exit on any finding.
+lint: vet
+	$(GO) run ./cmd/floodlint ./...
 
 # Engine microbenchmarks (push/pop, zero-alloc callbacks, cancel) plus
 # the per-figure benchmarks at the package root.
@@ -22,4 +30,4 @@ bench:
 	$(GO) test -bench=BenchmarkEngineCore -benchmem ./internal/sim
 	$(GO) test -bench=. -benchmem .
 
-ci: build vet test race
+ci: build lint test race

@@ -1,0 +1,81 @@
+// Command floodlint runs the repository's custom static-analysis suite
+// (see internal/lint): determinism, packet-pooling, hot-path
+// allocation and units-hygiene invariants that ordinary vet/tests
+// cannot express. It loads and type-checks every package in the module
+// using only the standard library.
+//
+//	floodlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings
+// print as file:line: [rule] message, relative to the module root.
+// Suppress a finding with //lint:allow <rule> <reason> on (or directly
+// above) the offending line; unused allow comments are themselves
+// reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"floodgate/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: floodlint [./...]  (always lints the whole module)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floodlint:", err)
+		os.Exit(2)
+	}
+	l, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floodlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floodlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(l, pkgs, lint.DefaultConfig(l.Module()))
+	for _, d := range diags {
+		fmt.Println(d.Rel(root))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "floodlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

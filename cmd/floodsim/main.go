@@ -63,7 +63,7 @@ func main() {
 		// Whole experiments overlap through the shared pool; tables still
 		// print in paper order. Elapsed is measured from the batch start:
 		// with overlap, per-experiment wall time is not meaningful.
-		start := time.Now()
+		start := time.Now() //lint:allow walltime progress reporting times the real run, not the simulation
 		failed := false
 		floodgate.RunExperiments(ids, o, func(id string, tables []floodgate.Table, err error) {
 			if err != nil {
@@ -71,7 +71,7 @@ func main() {
 				failed = true
 				return
 			}
-			print(id, tables, time.Since(start))
+			print(id, tables, time.Since(start)) //lint:allow walltime progress reporting times the real run, not the simulation
 		})
 		if failed {
 			os.Exit(1)
@@ -79,11 +79,11 @@ func main() {
 		return
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:allow walltime progress reporting times the real run, not the simulation
 	tables, err := floodgate.RunExperiment(*expID, o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "floodsim:", err)
 		os.Exit(1)
 	}
-	print(*expID, tables, time.Since(start))
+	print(*expID, tables, time.Since(start)) //lint:allow walltime progress reporting times the real run, not the simulation
 }

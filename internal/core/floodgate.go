@@ -1,3 +1,5 @@
+//lint:hotpath every OnIngress/OnDequeue call is per packet; scheduling must not allocate closures
+
 package core
 
 import (
@@ -25,6 +27,7 @@ type Module struct {
 	down      map[chanKey]*downChan
 	pending   [][]packet.NodeID // per ingress port: dsts with pending credits (insertion order)
 	timerArm  []bool            // per ingress port: credit timer scheduled
+	tickArgs  []tickArg         // per ingress port: pre-built AfterArg payloads
 	facesSw   []bool            // port peer is a switch
 	facesHost []bool
 
@@ -49,6 +52,25 @@ type chanKey struct {
 	dst  packet.NodeID
 }
 
+// tickArg is the pre-built payload for the per-ingress-port credit
+// timer, so arming it allocates nothing.
+type tickArg struct {
+	m  *Module
+	in int
+}
+
+// creditTickFn is the capture-free credit-timer callback.
+func creditTickFn(a any) {
+	t := a.(*tickArg)
+	t.m.creditTick(t.in)
+}
+
+// fireSYNFn is the capture-free switchSYN-timeout callback.
+func fireSYNFn(a any) {
+	w := a.(*dstWin)
+	w.m.fireSYN(w)
+}
+
 // downChan is the downstream switch's per-channel credit state.
 type downChan struct {
 	cumFwd  units.ByteSize // cumulative bytes forwarded (credited basis)
@@ -58,6 +80,7 @@ type downChan struct {
 
 // dstWin is the upstream per-destination window.
 type dstWin struct {
+	m     *Module // owner, for the capture-free SYN callback
 	dst   packet.NodeID
 	init  units.ByteSize
 	avail units.ByteSize
@@ -98,6 +121,7 @@ func newModule(cfg Config, sw *device.Switch) *Module {
 		down:        make(map[chanKey]*downChan),
 		pending:     make([][]packet.NodeID, len(node.Ports)),
 		timerArm:    make([]bool, len(node.Ports)),
+		tickArgs:    make([]tickArg, len(node.Ports)),
 		facesSw:     make([]bool, len(node.Ports)),
 		facesHost:   make([]bool, len(node.Ports)),
 		voqOf:       make(map[packet.NodeID]*voq),
@@ -106,6 +130,7 @@ func newModule(cfg Config, sw *device.Switch) *Module {
 	for i := range node.Ports {
 		m.facesHost[i] = sw.PortFacesHost(i)
 		m.facesSw[i] = !m.facesHost[i]
+		m.tickArgs[i] = tickArg{m: m, in: i}
 	}
 	// VOQ grouping applies to middle-layer switches only (3-tier aggs),
 	// which forward both upstream and windowed downstream traffic.
@@ -156,6 +181,7 @@ func (m *Module) Grouped() bool { return m.grouped }
 // is leaked window, any negative residue is inflation.
 func (m *Module) WindowDeficit() units.ByteSize {
 	var d units.ByteSize
+	//lint:allow maprange order-independent sum over the window table
 	for _, w := range m.wins {
 		d += w.init - w.avail
 	}
@@ -210,7 +236,7 @@ func (m *Module) winFor(dst packet.NodeID, outPort int) *dstWin {
 	} else {
 		init = port.BDP() + units.BytesOver(port.Rate, m.cfg.CreditTimer)
 	}
-	w := &dstWin{dst: dst, init: init, avail: init, ports: make(map[int]*upPort)}
+	w := &dstWin{m: m, dst: dst, init: init, avail: init, ports: make(map[int]*upPort)}
 	w.lastCredit = m.now()
 	m.wins[dst] = w
 	if len(m.wins) > m.maxWins {
@@ -341,9 +367,7 @@ func (m *Module) freeVOQ(v *voq) {
 	}
 	v.dsts = v.dsts[:0]
 	v.q = nil
-	for k := range v.perDst {
-		delete(v.perDst, k)
-	}
+	clear(v.perDst)
 	if m.grouped && v.group == 1 {
 		m.freeUp = append(m.freeUp, v.idx)
 	} else {
@@ -392,7 +416,7 @@ func (m *Module) armTimer(in int) {
 		return
 	}
 	m.timerArm[in] = true
-	m.sw.Net().Eng.After(m.cfg.CreditTimer, func() { m.creditTick(in) })
+	m.sw.Net().Eng.AfterArg(m.cfg.CreditTimer, creditTickFn, &m.tickArgs[in])
 }
 
 // creditTick emits aggregated credit packets for every destination
@@ -475,6 +499,7 @@ func (m *Module) applyCredit(port int, e packet.CreditEntry) {
 	// Recompute availability: init minus bytes still outstanding on any
 	// downstream channel.
 	var outstanding units.ByteSize
+	//lint:allow maprange order-independent sum of per-port outstanding bytes
 	for _, u := range w.ports {
 		outstanding += u.sent - u.lastCum
 	}
@@ -492,7 +517,7 @@ func (m *Module) armSYN(w *dstWin) {
 		return
 	}
 	eng := m.sw.Net().Eng
-	w.synTimer = eng.After(m.cfg.SYNTimeout, func() { m.fireSYN(w) })
+	w.synTimer = eng.AfterArg(m.cfg.SYNTimeout, fireSYNFn, w)
 }
 
 func (m *Module) fireSYN(w *dstWin) {
@@ -523,7 +548,7 @@ func (m *Module) fireSYN(w *dstWin) {
 
 func (m *Module) armSYNAgain(w *dstWin) {
 	eng := m.sw.Net().Eng
-	w.synTimer = eng.After(m.cfg.SYNTimeout, func() { m.fireSYN(w) })
+	w.synTimer = eng.AfterArg(m.cfg.SYNTimeout, fireSYNFn, w)
 }
 
 // checkPSNGap detects data lost on the upstream wire: the missing

@@ -1,3 +1,5 @@
+//lint:hotpath NIC serialization, pacing and RTO timers fire per segment
+
 package device
 
 import (

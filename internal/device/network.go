@@ -1,3 +1,5 @@
+//lint:hotpath flow wake/start scheduling and the packet pool run per packet
+
 // Package device turns a topology into a running packet-level network:
 // switches with shared buffers, PFC and ECN; hosts with paced,
 // window-limited, go-back-N reliable flows driven by pluggable
@@ -239,6 +241,7 @@ func (n *Network) TraceEvent(op trace.Op, node packet.NodeID, p *packet.Packet) 
 
 // Device dispatch: deliver a packet to the node that owns the port.
 func (n *Network) deliver(to packet.NodeID, p *packet.Packet, inPort int) {
+	p.AssertLive("Network.deliver")
 	if sw := n.Switches[to]; sw != nil {
 		sw.receive(p, inPort)
 		return
@@ -282,9 +285,16 @@ func (n *Network) AddFlow(src, dst packet.NodeID, size units.ByteSize, start uni
 	if start == n.Eng.Now() {
 		sh.startFlow(f)
 	} else {
-		n.Eng.At(start, func() { sh.startFlow(f) })
+		n.Eng.AtArg(start, flowStartFn, f)
 	}
 	return f
+}
+
+// flowStartFn is the capture-free deferred-start callback: workloads
+// register tens of thousands of future flows up front.
+func flowStartFn(a any) {
+	f := a.(*Flow)
+	f.net.HostsByID[f.Src].startFlow(f)
 }
 
 // Packet pooling: control frames and data segments are recycled at
@@ -325,8 +335,10 @@ func (n *Network) getPkt() *packet.Packet {
 		n.pktPool[m-1] = nil
 		n.pktPool = n.pktPool[:m-1]
 		p.ResetKeepBuffers()
+		p.PoolAcquired()
 		return p
 	}
+	//lint:allow pool the pool's own refill point mints the fresh packets
 	return &packet.Packet{}
 }
 
@@ -336,6 +348,7 @@ func (n *Network) Recycle(p *packet.Packet) {
 	if p == nil {
 		return
 	}
+	p.PoolReleased()
 	n.pktPool = append(n.pktPool, p)
 }
 

@@ -1,3 +1,5 @@
+//lint:hotpath transmit/deliver scheduling runs once per frame per hop
+
 package device
 
 import (

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkWalltime flags wall-clock reads. A simulation run must be a
+// pure function of (config, seed); time.Now leaking into the engine or
+// a device makes reruns diverge and parallel runs non-reproducible.
+func checkWalltime(c *Ctx) {
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := callee(c.Pkg.Info, call); isPkgFunc(fn, "time", "Now", "Since", "Until") {
+				c.Report(call.Pos(), "call to time.%s reads the wall clock; simulations must be a pure function of (config, seed) — use sim time (Engine.Now)", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// checkMathRand flags math/rand imports. Stochastic choices must draw
+// from the seeded sim.Rand so results reproduce from the seed alone
+// (math/rand's global source is seeded from runtime entropy).
+func checkMathRand(c *Ctx) {
+	for _, f := range c.Pkg.Files {
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				c.Report(imp.Pos(), "import of %s; draw from the seeded sim.Rand instead", imp.Path.Value)
+			}
+		}
+	}
+}
+
+// checkEnvRead flags environment reads: configuration enters only
+// through explicit config structs and the seed, never ambient state.
+func checkEnvRead(c *Ctx) {
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := callee(c.Pkg.Info, call); isPkgFunc(fn, "os", "Getenv", "LookupEnv", "Environ") {
+				c.Report(call.Pos(), "call to os.%s reads ambient environment; pass configuration explicitly", fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// checkMultiSelect flags select statements with two or more
+// communication cases: when several channels are ready the runtime
+// chooses uniformly at random, which is invisible nondeterminism.
+func checkMultiSelect(c *Ctx) {
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			comms := 0
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					comms++
+				}
+			}
+			if comms >= 2 {
+				c.Report(sel.Pos(), "select over %d channels; the runtime picks ready cases at random — use a deterministic ordering", comms)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags range statements over map-typed expressions. Map
+// iteration order is randomized per run; in packages that feed
+// rendered tables or schedule events, that order leaks straight into
+// output bytes or event sequence. Order-independent reductions (sums,
+// bulk deletes) are allowlisted with a reason, or rewritten with
+// clear() / sorted key slices.
+func checkMapRange(c *Ctx) {
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := c.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				c.Report(rng.Pos(), "range over %s iterates in randomized order; sort the keys first (or //lint:allow maprange for an order-independent reduction)", shortType(tv.Type))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkHotpath flags capturing closures scheduled from files marked
+// //lint:hotpath. Engine.After/At with a func literal that captures
+// variables allocates one closure per event — on paths that fire per
+// packet that is the dominant allocation of a run. The AfterArg/AtArg
+// variants take a pre-built capture-free callback plus a pointer
+// argument and allocate nothing.
+func checkHotpath(c *Ctx) {
+	for _, f := range c.Pkg.Files {
+		if !fileMarked(f, "//lint:hotpath") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			fn := callee(c.Pkg.Info, call)
+			if !isPkgFunc(fn, c.Cfg.SimPath, "After", "At") || recvNamed(fn) != "Engine" {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if caps := captures(c.Pkg, lit); len(caps) > 0 {
+				c.Report(call.Pos(), "closure passed to Engine.%s captures %s and allocates per event on a hot path; use %sArg with a pre-built capture-free callback",
+					fn.Name(), strings.Join(caps, ", "), fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// fileMarked reports whether any comment line in the file starts with
+// the marker (optionally followed by a reason).
+func fileMarked(f *ast.File, marker string) bool {
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			if cm.Text == marker || strings.HasPrefix(cm.Text, marker+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// captures lists the variables a func literal closes over: variables
+// declared in an enclosing function scope (package-level state and the
+// literal's own locals/params are capture-free).
+func captures(pkg *Package, lit *ast.FuncLit) []string {
+	seen := make(map[types.Object]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own local or parameter
+		}
+		if v.Parent() == pkg.Types.Scope() || v.Parent() == types.Universe {
+			return true // package-level: referenced directly, not captured
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}

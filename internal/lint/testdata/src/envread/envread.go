@@ -1,0 +1,15 @@
+// Package envread exercises the environment rule: configuration enters
+// through explicit structs and the seed, never ambient state.
+package envread
+
+import "os"
+
+// Debug reads the environment — the violation.
+func Debug() bool {
+	return os.Getenv("FLOOD_DEBUG") != ""
+}
+
+// Allowed keeps a read behind an allow.
+func Allowed() (string, bool) {
+	return os.LookupEnv("HOME") //lint:allow envread fixture demonstrates suppression
+}

@@ -1,0 +1,38 @@
+// Package hotpath exercises the closure-allocation rule.
+//
+//lint:hotpath fixture: every function here fires per packet
+package hotpath
+
+import (
+	"floodgate/internal/sim"
+	"floodgate/internal/units"
+)
+
+type waiter struct{ fired int }
+
+func onFire(a any) { a.(*waiter).fired++ }
+
+// Arm captures w in the scheduled closure — the violation.
+func Arm(eng *sim.Engine, w *waiter, d units.Duration) {
+	eng.After(d, func() { w.fired++ })
+}
+
+// ArmAt is the same violation through Engine.At.
+func ArmAt(eng *sim.Engine, w *waiter, t units.Time) {
+	eng.At(t, func() { w.fired++ })
+}
+
+// ArmFixed uses the capture-free variant — clean.
+func ArmFixed(eng *sim.Engine, w *waiter, d units.Duration) {
+	eng.AfterArg(d, onFire, w)
+}
+
+// ArmEmpty schedules a capture-free literal — clean.
+func ArmEmpty(eng *sim.Engine, d units.Duration) {
+	eng.After(d, func() {})
+}
+
+// ArmAllowed keeps a cold-path closure behind an allow.
+func ArmAllowed(eng *sim.Engine, w *waiter, d units.Duration) {
+	eng.After(d, func() { w.fired++ }) //lint:allow hotpath fixture demonstrates suppression
+}

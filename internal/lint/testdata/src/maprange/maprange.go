@@ -1,0 +1,36 @@
+// Package maprange exercises the map-iteration rule: map order is
+// randomized per run and must not reach output or scheduling.
+package maprange
+
+import "sort"
+
+// Render leaks map order straight into the output slice — the violation.
+func Render(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// RenderSorted is the fix: collect (order-independent, allowlisted),
+// then sort before anything order-sensitive happens.
+func RenderSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:allow maprange fixture: key collection feeds a sort, so order cannot leak
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum is an order-independent reduction, allowlisted with a reason.
+func Sum(m map[string]int) int {
+	total := 0
+	//lint:allow maprange fixture demonstrates an order-independent reduction
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+// Package mathrand exercises the math/rand rule: stochastic choices
+// must draw from the seeded sim.Rand.
+package mathrand
+
+import (
+	"math/rand"
+
+	mrand "math/rand/v2" //lint:allow mathrand fixture demonstrates suppression
+)
+
+// Roll draws from the runtime-seeded global source — the violation.
+func Roll() int { return rand.Intn(6) }
+
+// Roll2 uses the allowlisted import above.
+func Roll2() int { return mrand.IntN(6) }

@@ -1,0 +1,34 @@
+// Package multiselect exercises the select rule: with several channels
+// ready the runtime picks a case at random.
+package multiselect
+
+// Merge races two channels — the violation.
+func Merge(a, b <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Poll is a single channel plus default: deterministic, not flagged.
+func Poll(a <-chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Allowed keeps a race behind an allow.
+func Allowed(a, b <-chan int) int {
+	//lint:allow multiselect fixture demonstrates suppression
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

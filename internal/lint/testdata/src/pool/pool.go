@@ -1,0 +1,37 @@
+// Package pool exercises the packet-pool rules: packets come from and
+// return to the Network pool.
+package pool
+
+import (
+	"floodgate/internal/device"
+	"floodgate/internal/packet"
+)
+
+// Mint constructs a packet outside the pool — the directalloc violation.
+func Mint(id uint64) *packet.Packet {
+	return packet.NewCtrl(id, packet.Ack, 0, 1, 2)
+}
+
+// Literal is the second directalloc shape.
+func Literal() *packet.Packet {
+	return &packet.Packet{Kind: packet.Data}
+}
+
+// Drop acquires a pooled packet and never hands it off — the leak
+// violation (field writes keep it local and do not count).
+func Drop(n *device.Network) {
+	p := n.NewCtrl(packet.Ack, 0, 1, 2)
+	p.ECN = true
+}
+
+// Send hands the packet off to a call — clean.
+func Send(n *device.Network) {
+	p := n.NewCtrl(packet.Ack, 0, 1, 2)
+	n.Recycle(p)
+}
+
+// Fresh is the pool-refill idiom, allowlisted like the real pool.
+func Fresh() *packet.Packet {
+	//lint:allow pool fixture demonstrates the refill-point suppression
+	return &packet.Packet{}
+}

@@ -1,0 +1,27 @@
+// Package unitsmix exercises the units-hygiene rule: stripping the
+// typed units and combining different dimensions raw recreates the bug
+// class the types prevent.
+package unitsmix
+
+import "floodgate/internal/units"
+
+// Throughput divides bytes by time with the units stripped — the
+// violation (units.Rate's job).
+func Throughput(b units.ByteSize, d units.Duration) float64 {
+	return float64(b) / float64(d)
+}
+
+// Cast crosses dimensions in a direct conversion — the violation.
+func Cast(r units.BitRate) units.ByteSize {
+	return units.ByteSize(r)
+}
+
+// Ratio is same-dimension normalisation — legal, not flagged.
+func Ratio(a, b units.Duration) float64 {
+	return float64(a) / float64(b)
+}
+
+// Allowed keeps a deliberate mix behind an allow.
+func Allowed(b units.ByteSize, d units.Duration) float64 {
+	return float64(b) / float64(d) //lint:allow unitsmix fixture demonstrates suppression
+}

@@ -1,0 +1,8 @@
+// Package unusedallow verifies that stale allow comments are
+// themselves reported, so the allowlist cannot rot.
+package unusedallow
+
+// Clean has no violation, so this allow never matches.
+//
+//lint:allow walltime this reason is stale on purpose
+func Clean() int { return 1 }

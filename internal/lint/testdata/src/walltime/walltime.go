@@ -1,0 +1,20 @@
+// Package walltime exercises the wall-clock rule: simulated code must
+// read time from the engine, never the host clock.
+package walltime
+
+import "time"
+
+// Stamp reads the wall clock — the violation.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed is the second flagged shape.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Allowed keeps a legitimate wall-clock read behind an allow.
+func Allowed() time.Time {
+	return time.Now() //lint:allow walltime fixture demonstrates suppression
+}

@@ -1,0 +1,16 @@
+//go:build !simdebug
+
+package packet
+
+// debugState is empty without the simdebug tag; the field and the
+// assertion methods below compile away entirely.
+type debugState struct{}
+
+// PoolAcquired is a no-op without the simdebug tag.
+func (p *Packet) PoolAcquired() {}
+
+// PoolReleased is a no-op without the simdebug tag.
+func (p *Packet) PoolReleased() {}
+
+// AssertLive is a no-op without the simdebug tag.
+func (p *Packet) AssertLive(where string) {}

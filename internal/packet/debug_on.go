@@ -1,0 +1,41 @@
+//go:build simdebug
+
+package packet
+
+import "fmt"
+
+// debugState is the simdebug variant: it remembers whether the packet
+// currently sits in the pool, so lifecycle bugs fail loudly at the
+// faulty call site instead of surfacing as corrupted statistics runs
+// later. The release-time ID is kept separately because a recycled
+// packet's ID is rewritten on reacquire.
+type debugState struct {
+	released   bool
+	releasedID uint64
+}
+
+// PoolAcquired marks the packet live. The pool calls it every time a
+// packet is handed out (fresh or recycled).
+func (p *Packet) PoolAcquired() {
+	p.debug.released = false
+	p.debug.releasedID = 0
+}
+
+// PoolReleased marks the packet as returned to the pool and panics if
+// it is already there: a double Release means two owners, and the
+// second will corrupt whatever the pool hands the packet to next.
+func (p *Packet) PoolReleased() {
+	if p.debug.released {
+		panic(fmt.Sprintf("packet: double release of packet %d (first released as id %d)", p.ID, p.debug.releasedID))
+	}
+	p.debug.released = true
+	p.debug.releasedID = p.ID
+}
+
+// AssertLive panics if the packet has been released to the pool —
+// i.e. the caller is using a dangling pointer.
+func (p *Packet) AssertLive(where string) {
+	if p.debug.released {
+		panic(fmt.Sprintf("packet: use after release in %s (packet released as id %d)", where, p.debug.releasedID))
+	}
+}

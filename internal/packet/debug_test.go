@@ -1,0 +1,51 @@
+//go:build simdebug
+
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	f()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewData(42, 1, 0, 1, 0, 1000, false)
+	p.PoolReleased()
+	mustPanic(t, "double release of packet 42", p.PoolReleased)
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	p := NewCtrl(7, Ack, 1, 0, 1)
+	p.AssertLive("test") // live packet: must not panic
+	p.PoolReleased()
+	mustPanic(t, "use after release in deliver (packet released as id 7)", func() {
+		p.AssertLive("deliver")
+	})
+}
+
+func TestAcquireRevivesPacket(t *testing.T) {
+	p := NewCtrl(9, Credit, 1, 0, 1)
+	p.PoolReleased()
+	p.ResetKeepBuffers() // what the pool does on reuse; must keep the flag
+	mustPanic(t, "use after release", func() { p.AssertLive("reset") })
+	p.PoolAcquired()
+	p.AssertLive("after reacquire") // must not panic
+	p.PoolReleased()                // and the cycle can repeat
+}

@@ -166,6 +166,10 @@ type Packet struct {
 	// Bookkeeping for statistics.
 	SentAt   units.Time // when the source host first serialised it
 	HopCount int8
+
+	// debug is zero-size unless built with -tags simdebug, in which
+	// case it tracks pool membership for the lifecycle assertions.
+	debug debugState
 }
 
 // ResetKeepBuffers zeroes the packet for reuse, retaining the Int and
@@ -173,9 +177,11 @@ type Packet struct {
 func (p *Packet) ResetKeepBuffers() {
 	ints := p.Int[:0]
 	creds := p.Credits[:0]
+	dbg := p.debug
 	*p = Packet{}
 	p.Int = ints
 	p.Credits = creds
+	p.debug = dbg
 }
 
 // NewData builds a data segment of the given payload size.

@@ -212,6 +212,7 @@ func (m *module) QueueSignal(p *packet.Packet, outPort int) units.ByteSize {
 		return -1
 	}
 	var sum units.ByteSize
+	//lint:allow maprange order-independent sum of parked bytes
 	for _, st := range m.dsts {
 		sum += st.bytes
 	}
