@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench ci
+.PHONY: build test race vet lint bench bench-json obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,4 +30,16 @@ bench:
 	$(GO) test -bench=BenchmarkEngineCore -benchmem ./internal/sim
 	$(GO) test -bench=. -benchmem .
 
-ci: build lint test race
+# Machine-readable engine + metrics benchmark snapshot for regression
+# tracking; format documented in EXPERIMENTS.md.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem \
+		./internal/sim ./internal/metrics | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+
+# Observability smoke: one real experiment with -obs enabled; asserts
+# the NDJSON/manifest parse and the manifest's table hash matches the
+# rendered tables (plus obs-on/off and cross-parallelism byte-identity).
+obs-smoke:
+	$(GO) test -run 'TestObs' -count=1 ./internal/exp
+
+ci: build lint test race obs-smoke

@@ -1,0 +1,90 @@
+// Command benchjson converts `go test -bench` text output (stdin) into
+// a stable JSON document for regression tracking:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
+//
+// Benchmarks are keyed by name with the -cpu/GOMAXPROCS suffix
+// stripped and emitted in sorted order, so the file is diffable across
+// runs. See EXPERIMENTS.md for the format.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type doc struct {
+	Format     int           `json:"format"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchLine matches one result row, e.g.
+//
+//	BenchmarkMetricsHotPath-8   121170255   9.871 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []benchResult
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		var bpo, apo int64
+		if m[4] != "" {
+			bpo, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			apo, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results = append(results, benchResult{
+			Name: m[1], Iterations: iters, NsPerOp: ns,
+			BytesPerOp: bpo, AllocsPerOp: apo,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+
+	data, err := json.MarshalIndent(doc{Format: 1, Benchmarks: results}, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -5,6 +5,13 @@
 //	floodsim -list
 //	floodsim -exp fig10 -scale 0.25
 //	floodsim -exp all -scale 0.5 -seed 7 -par 8
+//	floodsim -exp fig6 -obs out/ -sample 10us
+//
+// With -obs, every simulation additionally writes NDJSON/CSV metric
+// time series and a Chrome trace_event timeline (open in Perfetto)
+// under <dir>/<experiment>/, plus a manifest.json recording the run
+// parameters and a hash of the printed tables. These files are
+// byte-identical at every -par setting.
 //
 // Scale 1 is the paper's 160-host 100/400 Gbps fabric (slow; see
 // DESIGN.md for the slow-motion scale model that keeps smaller runs
@@ -24,11 +31,13 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale = flag.Float64("scale", 0.25, "fabric scale in (0,1]; 1 = paper scale")
-		seed  = flag.Uint64("seed", 1, "workload/simulation seed")
-		par   = flag.Int("par", 0, "max concurrent simulations; 0 = all cores, 1 = serial")
-		list  = flag.Bool("list", false, "list available experiments")
+		expID  = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale  = flag.Float64("scale", 0.25, "fabric scale in (0,1]; 1 = paper scale")
+		seed   = flag.Uint64("seed", 1, "workload/simulation seed")
+		par    = flag.Int("par", 0, "max concurrent simulations; 0 = all cores, 1 = serial")
+		list   = flag.Bool("list", false, "list available experiments")
+		obsDir = flag.String("obs", "", "write per-run metrics/timeline files under this directory")
+		sample = flag.Duration("sample", 0, "metrics sampling period on the simulation clock (e.g. 10us); 0 = default")
 	)
 	flag.Parse()
 
@@ -45,6 +54,9 @@ func main() {
 	}
 
 	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par}
+	if *obsDir != "" {
+		o.Obs = floodgate.ObsConfig{Dir: *obsDir, Period: floodgate.FromNanos(sample.Nanoseconds())}
+	}
 	print := func(id string, tables []floodgate.Table, elapsed time.Duration) {
 		for _, t := range tables {
 			fmt.Println(t.String())

@@ -25,6 +25,7 @@ import (
 	"floodgate/internal/core"
 	"floodgate/internal/device"
 	"floodgate/internal/exp"
+	"floodgate/internal/metrics"
 	"floodgate/internal/packet"
 	"floodgate/internal/sim"
 	"floodgate/internal/stats"
@@ -85,11 +86,7 @@ func Experiments() []Experiment { return exp.List() }
 // simulations within the experiment run across a worker pool sized by
 // Options.Parallelism.
 func RunExperiment(id string, o Options) ([]Table, error) {
-	e, err := exp.Lookup(id)
-	if err != nil {
-		return nil, err
-	}
-	return e.Run(o), nil
+	return exp.RunByID(id, o)
 }
 
 // RunExperiments executes several experiments, overlapping all their
@@ -290,9 +287,63 @@ const (
 	TraceDeliver = trace.OpDeliver
 	TraceDrop    = trace.OpDrop
 	TraceCredit  = trace.OpCredit
+	TracePause   = trace.OpPause
+	TraceResume  = trace.OpResume
+	TraceRetx    = trace.OpRetx
+	TraceRTO     = trace.OpRTO
 )
 
 // NewTraceBuffer returns a ring retaining the newest `capacity`
 // matching events; attach it via NetworkConfig.Trace or RunConfig via
 // the raw API.
 func NewTraceBuffer(capacity int, f TraceFilter) *TraceBuffer { return trace.NewBuffer(capacity, f) }
+
+// ---- Observability ----
+
+// ObsConfig (Options.Obs / NewNetwork + MetricsRegistry) switches on
+// per-run metrics sampling and timeline export: NDJSON/CSV time series
+// of engine, device and Floodgate instruments plus a Chrome
+// trace_event JSON that loads in Perfetto. Enabling it never changes a
+// run's tables, and output files are byte-identical at any
+// Options.Parallelism (see DESIGN.md §8).
+type ObsConfig = exp.ObsConfig
+
+// Metrics instruments for custom studies over the raw device API:
+// register on a MetricsRegistry, attach the bundle via
+// NetworkConfig.Metrics, sample with MetricsSampler.
+type (
+	MetricsRegistry  = metrics.Registry
+	MetricsSampler   = metrics.Sampler
+	MetricsCounter   = metrics.Counter
+	MetricsGauge     = metrics.Gauge
+	MetricsHistogram = metrics.Histogram
+	NetMetrics       = device.NetMetrics
+	ObsManifest      = metrics.Manifest
+)
+
+// NewMetricsRegistry returns an empty instrument registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewNetMetrics registers the device/Floodgate instrument bundle.
+func NewNetMetrics(r *MetricsRegistry) NetMetrics { return device.NewNetMetrics(r) }
+
+// NewMetricsSampler snapshots every registered instrument on a fixed
+// simulation-clock period; call Start after registration is complete.
+func NewMetricsSampler(eng *sim.Engine, r *MetricsRegistry, period Duration) *MetricsSampler {
+	return metrics.NewSampler(eng, r, period)
+}
+
+// WriteChromeTrace renders trace events in Chrome trace_event JSON
+// (open in Perfetto or chrome://tracing).
+var WriteChromeTrace = metrics.WriteChromeTrace
+
+// WriteObsManifest writes an experiment's observability manifest
+// (run parameters + table content hash) and returns its path.
+var WriteObsManifest = exp.WriteObsManifest
+
+// TablesHash folds rendered tables into the manifest's content hash.
+var TablesHash = exp.TablesHash
+
+// FromNanos converts a nanosecond count (e.g. time.Duration's
+// Nanoseconds) to a simulation Duration.
+var FromNanos = units.FromNanos

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 
 	"floodgate/internal/device"
+	"floodgate/internal/metrics"
 	"floodgate/internal/packet"
 	"floodgate/internal/sim"
 	"floodgate/internal/topo"
@@ -43,6 +44,14 @@ type Module struct {
 	pausedHosts map[packet.NodeID]map[packet.NodeID]bool // dst -> set of paused hosts
 
 	maxWins int // peak window-table size (§7.4 memory overhead)
+
+	// Instrument handles copied from the network's NetMetrics at
+	// construction (value types, nil-safe when no registry is attached).
+	mWindows         metrics.Gauge
+	mWindowBytes     metrics.Gauge
+	mVOQsInUse       metrics.Gauge
+	mParkedBytes     metrics.Gauge
+	mCreditsInFlight metrics.Gauge
 }
 
 // chanKey addresses one upstream channel: the ingress port the data
@@ -127,6 +136,12 @@ func newModule(cfg Config, sw *device.Switch) *Module {
 		voqOf:       make(map[packet.NodeID]*voq),
 		pausedHosts: make(map[packet.NodeID]map[packet.NodeID]bool),
 	}
+	nm := &sw.Net().Metrics
+	m.mWindows = nm.FGWindows
+	m.mWindowBytes = nm.FGWindowBytes
+	m.mVOQsInUse = nm.FGVOQsInUse
+	m.mParkedBytes = nm.FGParkedBytes
+	m.mCreditsInFlight = nm.FGCreditsInFlight
 	for i := range node.Ports {
 		m.facesHost[i] = sw.PortFacesHost(i)
 		m.facesSw[i] = !m.facesHost[i]
@@ -218,6 +233,7 @@ func (m *Module) OnIngress(p *packet.Packet, inPort, outPort int) device.Verdict
 // forward consumes window and stamps the loss-recovery PSN.
 func (m *Module) forward(w *dstWin, p *packet.Packet, outPort int) {
 	w.avail -= p.Size
+	m.mWindowBytes.Add(int64(p.Size))
 	up := w.port(outPort)
 	up.sent += p.Size
 	p.PSN = up.sent
@@ -239,6 +255,7 @@ func (m *Module) winFor(dst packet.NodeID, outPort int) *dstWin {
 	w := &dstWin{m: m, dst: dst, init: init, avail: init, ports: make(map[int]*upPort)}
 	w.lastCredit = m.now()
 	m.wins[dst] = w
+	m.mWindows.Add(1)
 	if len(m.wins) > m.maxWins {
 		m.maxWins = len(m.wins)
 	}
@@ -278,6 +295,7 @@ func (m *Module) allocVOQ(dst packet.NodeID) *voq {
 		*freeList = (*freeList)[:len(*freeList)-1]
 		v = m.voqs[idx]
 		m.inUse++
+		m.mVOQsInUse.Add(1)
 		m.sw.Net().Stats.VOQInUse(m.inUse)
 	} else {
 		// Pool exhausted: share an allocated VOQ chosen by hashing the
@@ -308,6 +326,7 @@ func (m *Module) hashVOQ(dst packet.NodeID, group int) *voq {
 	}
 	if len(candidates) == 0 {
 		m.inUse++
+		m.mVOQsInUse.Add(1)
 		m.sw.Net().Stats.VOQInUse(m.inUse)
 		return m.voqs[0]
 	}
@@ -325,6 +344,7 @@ func (m *Module) park(v *voq, p *packet.Packet, outPort int) {
 	v.q = append(v.q, p)
 	v.bytes += p.Size
 	v.perDst[p.Dst] += p.Size
+	m.mParkedBytes.Add(int64(p.Size))
 	m.sw.NotePortBytes(outPort, p.Size)
 	m.sw.Net().TraceEvent(trace.OpPark, m.sw.Node().ID, p)
 	m.maybeDstPause(p)
@@ -345,6 +365,7 @@ func (m *Module) drain(v *voq) {
 		v.q = v.q[1:]
 		v.bytes -= p.Size
 		v.perDst[p.Dst] -= p.Size
+		m.mParkedBytes.Add(-int64(p.Size))
 		m.forward(w, p, outPort)
 		m.sw.InjectEgress(p, outPort, 0)
 		m.maybeDstResume(p.Dst)
@@ -374,6 +395,7 @@ func (m *Module) freeVOQ(v *voq) {
 		m.free = append(m.free, v.idx)
 	}
 	m.inUse--
+	m.mVOQsInUse.Add(-1)
 }
 
 // ---- Downstream role: credit generation ----
@@ -453,6 +475,7 @@ func (m *Module) emitCredit(in int, dst packet.NodeID, ch *downChan) {
 	cr := n.NewCtrl(packet.Credit, 0, m.sw.Node().ID, m.sw.Node().Ports[in].Peer)
 	cr.Credits = []packet.CreditEntry{{Dst: dst, Bytes: ch.pending, Cum: ch.cumFwd}}
 	ch.pending = 0
+	m.mCreditsInFlight.Add(1)
 	n.TraceEvent(trace.OpCredit, m.sw.Node().ID, cr)
 	m.sw.SendCtrl(cr, in)
 }
@@ -463,6 +486,7 @@ func (m *Module) emitCredit(in int, dst packet.NodeID, ch *downChan) {
 func (m *Module) OnCtrl(p *packet.Packet, inPort int) bool {
 	switch p.Kind {
 	case packet.Credit:
+		m.mCreditsInFlight.Add(-1)
 		for _, e := range p.Credits {
 			m.applyCredit(inPort, e)
 		}
@@ -503,7 +527,9 @@ func (m *Module) applyCredit(port int, e packet.CreditEntry) {
 	for _, u := range w.ports {
 		outstanding += u.sent - u.lastCum
 	}
+	availOld := w.avail
 	w.avail = w.init - outstanding
+	m.mWindowBytes.Add(int64(availOld) - int64(w.avail))
 	w.lastCredit = m.now()
 	m.sw.Net().Eng.Cancel(w.synTimer)
 	if v, ok := m.voqOf[e.Dst]; ok {

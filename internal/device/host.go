@@ -32,6 +32,7 @@ type Flow struct {
 
 	// Sender state.
 	sndNxt, sndUna units.ByteSize
+	maxSent        units.ByteSize // highest sndNxt reached (go-back-N rtx detection)
 	nextSend       units.Time
 	lastProgress   units.Time // last cumulative-ACK advance (lazy RTO)
 	senderDone     bool
@@ -218,11 +219,14 @@ func (h *Host) receive(p *packet.Packet) {
 		if !h.pfcPaused {
 			h.pfcPaused = true
 			h.pfcStart = now
+			h.net.Metrics.PFCPauses.Inc()
+			h.net.Metrics.PFCPortsPaused.Add(1)
 		}
 	case packet.PFCResume:
 		if h.pfcPaused {
 			h.pfcPaused = false
 			h.net.Stats.PFCPaused(topo.LayerHost, now.Sub(h.pfcStart))
+			h.net.Metrics.PFCPortsPaused.Add(-1)
 			h.kick()
 		}
 	case packet.DstPause:
@@ -389,6 +393,7 @@ func (h *Host) completeFlow(f *Flow, now units.Time) {
 	f.done = true
 	f.Finish = now
 	h.net.Stats.FlowDone(uint64(f.ID), f.Cat, f.Size, f.Start, now, h.port.Rate)
+	h.net.Metrics.FCT.Observe(int64(now.Sub(f.Start)))
 	if h.net.OnFlowDone != nil {
 		h.net.OnFlowDone(f, now)
 	}
@@ -465,8 +470,10 @@ func (h *Host) serviceRTO() {
 		}
 		// Stalled: rewind and retransmit.
 		if f.sndNxt > f.sndUna {
+			h.net.TraceFlow(trace.OpRTO, h.node.ID, f)
 			f.sndNxt = f.sndUna
 			h.net.Stats.Retransmit()
+			h.net.Metrics.RTOs.Inc()
 		}
 		f.lastProgress = now
 		f.inRtoQ = true
@@ -567,6 +574,9 @@ func (h *Host) sendSegment(f *Flow, now units.Time) {
 		if h.net.Cfg.NDP.Enable && seq >= h.net.BaseBDP() {
 			f.pullCredits--
 		}
+		// Go-back-N resend: the timeout rewound sndNxt below the
+		// furthest byte ever emitted.
+		isRtx = seq < f.maxSent
 	}
 	payload := f.Size - seq
 	if payload > MSS {
@@ -579,14 +589,21 @@ func (h *Host) sendSegment(f *Flow, now units.Time) {
 	p.SentAt = now
 	p.InPort = -1
 	p.UpstreamQ = -1 // hosts have per-flow queues, not indexed ones
-	if !isRtx {
+	if !isRtx || seq == f.sndNxt {
 		f.sndNxt = seq + payload
+		if f.sndNxt > f.maxSent {
+			f.maxSent = f.sndNxt
+		}
 	}
 	f.nextSend = now.Add(units.TxTime(p.Size, f.ctrl.Rate()))
 	f.ctrl.OnSend(now, p.Size)
 	h.armRTO(f)
 	h.enqueue(f) // rotate to the queue tail if more remains
 	h.net.TraceEvent(trace.OpSend, h.node.ID, p)
+	if isRtx {
+		h.net.Metrics.RetxSegments.Inc()
+		h.net.TraceEvent(trace.OpRetx, h.node.ID, p)
+	}
 	h.transmit(p)
 }
 

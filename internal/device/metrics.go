@@ -1,0 +1,91 @@
+package device
+
+import (
+	"floodgate/internal/metrics"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+)
+
+// NetMetrics bundles the instruments the device and flow-control
+// layers update per event. It is carried by value on the Network; the
+// zero value is fully inert (every handle is nil-safe), so unmetered
+// runs pay only the embedded nil checks. Registration order is fixed
+// here — it is the canonical export order.
+type NetMetrics struct {
+	// Per-port-class queued + parked bytes (mirrors the per-hop
+	// occupancy the paper's Figs 6b/10/11 report, but continuously).
+	QueuedBytes [topo.NumPortClasses]metrics.Gauge
+
+	PFCPauses      metrics.Counter // pause transitions (switch + host)
+	PFCPortsPaused metrics.Gauge   // currently paused egress ports/NICs
+	ECNMarks       metrics.Counter
+	Drops          metrics.Counter
+	Trims          metrics.Counter
+	RetxSegments   metrics.Counter // retransmitted segments put on the wire
+	RTOs           metrics.Counter // go-back-N timeout rewinds
+
+	QueueDelay metrics.Histogram // per-hop queuing delay (ps, non-incast data)
+	FCT        metrics.Histogram // flow completion times (ps)
+
+	// Floodgate module signals (updated from internal/core).
+	FGWindows         metrics.Gauge // per-destination window entries
+	FGWindowBytes     metrics.Gauge // occupied window bytes (init - avail summed)
+	FGVOQsInUse       metrics.Gauge
+	FGParkedBytes     metrics.Gauge // bytes parked across VOQs
+	FGCreditsInFlight metrics.Gauge // credit frames emitted but not yet applied
+}
+
+// queueDelayBounds buckets per-hop queuing delay from sub-microsecond
+// to the PFC-storm regime (values in picoseconds).
+var queueDelayBounds = []int64{
+	int64(1 * units.Microsecond),
+	int64(2 * units.Microsecond),
+	int64(5 * units.Microsecond),
+	int64(10 * units.Microsecond),
+	int64(20 * units.Microsecond),
+	int64(50 * units.Microsecond),
+	int64(100 * units.Microsecond),
+	int64(200 * units.Microsecond),
+	int64(500 * units.Microsecond),
+	int64(units.Millisecond),
+	int64(10 * units.Millisecond),
+}
+
+// fctBounds buckets flow completion times across the scales the
+// slow-motion clock produces (values in picoseconds).
+var fctBounds = []int64{
+	int64(10 * units.Microsecond),
+	int64(50 * units.Microsecond),
+	int64(100 * units.Microsecond),
+	int64(500 * units.Microsecond),
+	int64(units.Millisecond),
+	int64(5 * units.Millisecond),
+	int64(10 * units.Millisecond),
+	int64(50 * units.Millisecond),
+	int64(100 * units.Millisecond),
+	int64(units.Second),
+}
+
+// NewNetMetrics registers the network's instruments on r in canonical
+// order and returns the bundle of handles.
+func NewNetMetrics(r *metrics.Registry) NetMetrics {
+	var m NetMetrics
+	for c := topo.PortClass(0); c < topo.NumPortClasses; c++ {
+		m.QueuedBytes[c] = r.Gauge("net.queued_bytes."+c.String(), "bytes")
+	}
+	m.PFCPauses = r.Counter("net.pfc_pauses", "events")
+	m.PFCPortsPaused = r.Gauge("net.pfc_ports_paused", "ports")
+	m.ECNMarks = r.Counter("net.ecn_marks", "packets")
+	m.Drops = r.Counter("net.drops", "packets")
+	m.Trims = r.Counter("net.trims", "packets")
+	m.RetxSegments = r.Counter("net.retx_segments", "packets")
+	m.RTOs = r.Counter("net.rtos", "events")
+	m.QueueDelay = r.Histogram("net.queue_delay_ps", "ps", queueDelayBounds)
+	m.FCT = r.Histogram("net.fct_ps", "ps", fctBounds)
+	m.FGWindows = r.Gauge("fg.windows", "entries")
+	m.FGWindowBytes = r.Gauge("fg.window_bytes", "bytes")
+	m.FGVOQsInUse = r.Gauge("fg.voqs_in_use", "voqs")
+	m.FGParkedBytes = r.Gauge("fg.parked_bytes", "bytes")
+	m.FGCreditsInFlight = r.Gauge("fg.credits_in_flight", "frames")
+	return m
+}

@@ -86,6 +86,11 @@ type Config struct {
 	// Trace, when non-nil, records packet lifecycle events (see the
 	// trace package). Disabled tracing costs one nil check per event.
 	Trace *trace.Buffer
+
+	// Metrics carries the instrument handles the devices update. The
+	// zero value is inert (nil-safe handles), so unmetered runs pay
+	// only embedded nil checks.
+	Metrics NetMetrics
 }
 
 // Defaults fills unset fields.
@@ -133,12 +138,13 @@ func (c *Config) defaults() {
 
 // Network is the wired simulation: one device per topology node.
 type Network struct {
-	Cfg    Config
-	Topo   *topo.Topology
-	Eng    *sim.Engine
-	Stats  *stats.Collector
-	rand   *sim.Rand
-	nextID uint64
+	Cfg     Config
+	Topo    *topo.Topology
+	Eng     *sim.Engine
+	Stats   *stats.Collector
+	Metrics NetMetrics
+	rand    *sim.Rand
+	nextID  uint64
 
 	Switches  []*Switch // indexed by NodeID (nil for hosts)
 	HostsByID []*Host   // indexed by NodeID (nil for switches)
@@ -162,6 +168,7 @@ func New(cfg Config) *Network {
 		Topo:      cfg.Topo,
 		Eng:       cfg.Engine,
 		Stats:     cfg.Stats,
+		Metrics:   cfg.Metrics,
 		rand:      cfg.Rand,
 		Switches:  make([]*Switch, len(cfg.Topo.Nodes)),
 		HostsByID: make([]*Host, len(cfg.Topo.Nodes)),
@@ -236,6 +243,18 @@ func (n *Network) PktID() uint64 { return n.pktID() }
 func (n *Network) TraceEvent(op trace.Op, node packet.NodeID, p *packet.Packet) {
 	if n.Cfg.Trace != nil {
 		n.Cfg.Trace.Record(trace.Of(n.Eng.Now(), op, node, p))
+	}
+}
+
+// TraceFlow records a packet-less flow lifecycle point (e.g. an RTO
+// rewind, which has no frame to borrow fields from): Seq carries the
+// rewind target and Size the bytes that were in flight.
+func (n *Network) TraceFlow(op trace.Op, node packet.NodeID, f *Flow) {
+	if n.Cfg.Trace != nil {
+		n.Cfg.Trace.Record(trace.Event{
+			At: n.Eng.Now(), Op: op, Node: node, Kind: packet.Data,
+			Flow: f.ID, Seq: f.sndUna, Size: f.inflight(), Dst: f.Dst,
+		})
 	}
 }
 

@@ -139,6 +139,7 @@ func (s *Switch) receiveData(p *packet.Packet, inPort int) {
 	// Shared-buffer admission.
 	if s.used+p.Size > n.Cfg.BufferSize {
 		n.Stats.Drop()
+		n.Metrics.Drops.Inc()
 		n.TraceEvent(trace.OpDrop, s.node.ID, p)
 		n.Recycle(p)
 		return
@@ -167,6 +168,7 @@ func (s *Switch) receiveData(p *packet.Packet, inPort int) {
 		p.Trim()
 		s.release(cut, inPort)
 		n.Stats.Trim()
+		n.Metrics.Trims.Inc()
 		s.sendCtrl2(p, out)
 		return
 	}
@@ -178,6 +180,7 @@ func (s *Switch) receiveData(p *packet.Packet, inPort int) {
 	case v.Drop:
 		s.release(p.Size, inPort)
 		n.Stats.Drop()
+		n.Metrics.Drops.Inc()
 		n.Recycle(p)
 		return
 	case v.Trim:
@@ -185,6 +188,7 @@ func (s *Switch) receiveData(p *packet.Packet, inPort int) {
 		p.Trim()
 		s.release(cut, inPort) // header keeps only its own share charged
 		n.Stats.Trim()
+		n.Metrics.Trims.Inc()
 		s.sendCtrl2(p, out) // trimmed headers ride the priority class
 		return
 	}
@@ -232,7 +236,9 @@ func (s *Switch) notePort(out int, delta units.ByteSize) {
 		return
 	}
 	s.portBytes[out] += delta
-	s.net.Stats.PortBuffer(s.net.Eng.Now(), int32(s.node.ID), int32(out), s.node.Ports[out].Class, s.portBytes[out])
+	class := s.node.Ports[out].Class
+	s.net.Metrics.QueuedBytes[class].Add(int64(delta))
+	s.net.Stats.PortBuffer(s.net.Eng.Now(), int32(s.node.ID), int32(out), class, s.portBytes[out])
 }
 
 // maybeMark applies RED-style ECN based on the egress backlog (or the
@@ -248,10 +254,12 @@ func (s *Switch) maybeMark(p *packet.Packet, out int) {
 		return
 	case q >= cfg.KMax:
 		p.ECN = true
+		s.net.Metrics.ECNMarks.Inc()
 	default:
 		prob := cfg.PMax * float64(q-cfg.KMin) / float64(cfg.KMax-cfg.KMin)
 		if s.net.rand.Float64() < prob {
 			p.ECN = true
+			s.net.Metrics.ECNMarks.Inc()
 		}
 	}
 }
@@ -315,6 +323,8 @@ func (s *Switch) pauseSelf(i int) {
 	}
 	s.pausedSelf[i] = true
 	s.pauseStart[i] = s.net.Eng.Now()
+	s.net.Metrics.PFCPauses.Inc()
+	s.net.Metrics.PFCPortsPaused.Add(1)
 }
 
 func (s *Switch) resumeSelf(i int) {
@@ -323,6 +333,7 @@ func (s *Switch) resumeSelf(i int) {
 	}
 	s.pausedSelf[i] = false
 	s.net.Stats.PFCPaused(s.node.Layer, s.net.Eng.Now().Sub(s.pauseStart[i]))
+	s.net.Metrics.PFCPortsPaused.Add(-1)
 	s.kick(i)
 }
 
@@ -399,6 +410,7 @@ func (s *Switch) transmit(p *packet.Packet, i, queue int) {
 		// Queuing-time attribution (non-incast data only, per Fig 11b).
 		if p.Cat != packet.CatIncast {
 			n.Stats.QueueDelay(o.tp.Class, now.Sub(p.EnqueuedAt))
+			n.Metrics.QueueDelay.Observe(int64(now.Sub(p.EnqueuedAt)))
 		}
 		s.fc.OnDequeue(p, i, queue)
 		if n.Cfg.INT && !p.Trimmed {
@@ -430,6 +442,11 @@ func (s *Switch) transmit(p *packet.Packet, i, queue int) {
 	// credits additionally at CreditLossRate (Fig 12's isolated stress).
 	if lr := s.lossRateFor(p.Kind); lr > 0 && s.PortFacesSwitch(i) && n.rand.Float64() < lr {
 		n.Stats.Drop()
+		n.Metrics.Drops.Inc()
+		if p.Kind == packet.Credit {
+			// A lost credit can no longer be applied upstream.
+			n.Metrics.FGCreditsInFlight.Add(-1)
+		}
 		n.TraceEvent(trace.OpDrop, s.node.ID, p)
 		n.Recycle(p)
 		return

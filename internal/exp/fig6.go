@@ -58,8 +58,8 @@ func Fig6(o Options) []Table {
 			Specs:      workload.Merge(poisson, incast),
 			Duration:   dur,
 			Seed:       o.Seed,
-			Opt:        Options{Scale: 1, Seed: o.Seed}, // testbed runs at its own full scale
-			BufferSize: 2 * units.MB,                    // software-switch buffer
+			Opt:        Options{Scale: 1, Seed: o.Seed, Obs: o.Obs}, // testbed runs at its own full scale
+			BufferSize: 2 * units.MB,                                // software-switch buffer
 		})
 		avg, p99 := stats.FCTStats(res.Stats.PoissonFCTs())
 		vAvg, vP99 := stats.FCTStats(res.Stats.FCTs(stats.CatVictimIncast))

@@ -283,7 +283,7 @@ func Fig22(o Options) []Table {
 		specs := workload.Poisson(workload.PoissonConfig{
 			CDF: cdf, Load: 0.8, Hosts: tp.Hosts, HostRate: hostRate, Until: dur,
 		}, newRand(o.Seed))
-		res := Run(RunConfig{Topo: o.leafSpine(), Scheme: s, Specs: specs, Duration: dur, Seed: o.Seed})
+		res := Run(RunConfig{Topo: o.leafSpine(), Scheme: s, Specs: specs, Duration: dur, Seed: o.Seed, Opt: Options{Obs: o.Obs}})
 		avg, p99 := stats.FCTStats(res.Stats.AllFCTs())
 		return []string{cdf.Name, s.Name, fmtDur(avg), fmtDur(p99),
 			fmt.Sprintf("%d", res.Stats.MaxVOQInUse)}

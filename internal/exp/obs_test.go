@@ -1,0 +1,259 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"floodgate/internal/metrics"
+	"floodgate/internal/units"
+)
+
+// obsSmokeOpts keeps the observed runs fast: coarse sampling still
+// produces hundreds of ticks over fig6's 20 ms window.
+func obsSmokeOpts(dir string, par int) Options {
+	return Options{
+		Scale: 0.1, Seed: 1, Parallelism: par,
+		Obs: ObsConfig{Dir: dir, Period: 100 * units.Microsecond},
+	}
+}
+
+func readDataFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// TestObsSmoke runs one real experiment with observability enabled and
+// validates the whole export surface: the per-run NDJSON/CSV/trace
+// files exist and parse, and the manifest's table hash matches the
+// tables the run actually returned.
+func TestObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	dir := t.TempDir()
+	tables, err := RunByID("fig6", obsSmokeOpts(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no tables")
+	}
+
+	expDir := filepath.Join(dir, "fig6")
+	files := readDataFiles(t, expDir)
+	var ndjson, csv, traces, manifests int
+	for name := range files {
+		switch {
+		case strings.HasSuffix(name, ".metrics.ndjson"):
+			ndjson++
+		case strings.HasSuffix(name, ".metrics.csv"):
+			csv++
+		case strings.HasSuffix(name, ".trace.json"):
+			traces++
+		case name == "manifest.json":
+			manifests++
+		}
+	}
+	// fig6 runs two schemes (with/without Floodgate) → two file triples.
+	if ndjson != 2 || csv != 2 || traces != 2 || manifests != 1 {
+		t.Fatalf("file census ndjson=%d csv=%d trace=%d manifest=%d, want 2/2/2/1 (files: %v)",
+			ndjson, csv, traces, manifests, fileNames(files))
+	}
+
+	m, err := metrics.ReadManifest(filepath.Join(expDir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Format != metrics.ManifestFormat || m.Experiment != "fig6" {
+		t.Errorf("manifest identity: %+v", m)
+	}
+	if m.TableHash != TablesHash(tables) {
+		t.Errorf("manifest table hash %q != rendered tables hash %q", m.TableHash, TablesHash(tables))
+	}
+	if len(m.Files) != 6 {
+		t.Errorf("manifest lists %d files, want 6: %v", len(m.Files), m.Files)
+	}
+	for _, f := range m.Files {
+		if _, ok := files[f]; !ok {
+			t.Errorf("manifest lists missing file %q", f)
+		}
+	}
+	if m.SamplePeriodPs != int64(100*units.Microsecond) {
+		t.Errorf("manifest period = %d ps", m.SamplePeriodPs)
+	}
+
+	// Every NDJSON stream: header first, instruments > 0, ticks > 0,
+	// every line valid JSON, engine self-metrics present and live.
+	for name, data := range files {
+		if !strings.HasSuffix(name, ".metrics.ndjson") {
+			continue
+		}
+		sc := bufio.NewScanner(strings.NewReader(string(data)))
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var lines []map[string]any
+		for sc.Scan() {
+			var obj map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+				t.Fatalf("%s: bad NDJSON line: %v", name, err)
+			}
+			lines = append(lines, obj)
+		}
+		if len(lines) < 3 || lines[0]["type"] != "header" {
+			t.Fatalf("%s: malformed stream (%d lines)", name, len(lines))
+		}
+		if lines[0]["ticks"].(float64) == 0 {
+			t.Errorf("%s: sampler never ticked", name)
+		}
+		var sawEngine, sawProgress bool
+		for _, l := range lines[1:] {
+			if l["type"] == "series" && l["name"] == "engine.events_processed" {
+				sawEngine = true
+				samples := l["samples"].([]any)
+				if len(samples) > 0 && samples[len(samples)-1].(float64) > 0 {
+					sawProgress = true
+				}
+			}
+		}
+		if !sawEngine || !sawProgress {
+			t.Errorf("%s: engine self-metrics missing or flat", name)
+		}
+	}
+
+	// Every Chrome trace parses and is non-empty.
+	for name, data := range files {
+		if !strings.HasSuffix(name, ".trace.json") {
+			continue
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s: invalid trace JSON: %v", name, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Errorf("%s: empty timeline", name)
+		}
+	}
+}
+
+func fileNames(m map[string][]byte) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestObsNoTableImpact pins the core guarantee: enabling observability
+// must not change a single byte of experiment output.
+func TestObsNoTableImpact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	plain, err := RunByID("fig6", Options{Scale: 0.1, Seed: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := RunByID("fig6", obsSmokeOpts(t.TempDir(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TablesHash(plain) != TablesHash(observed) {
+		t.Fatalf("tables differ with observability on:\n--- off ---\n%s\n--- on ---\n%s",
+			renderAll(plain), renderAll(observed))
+	}
+}
+
+// TestObsParallelDeterminism: all observability output must be
+// byte-identical at -par 1 and -par N; the manifest may differ only in
+// its recorded parallelism.
+func TestObsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	dirSerial, dirPar := t.TempDir(), t.TempDir()
+	tSerial, err := RunByID("fig6", obsSmokeOpts(dirSerial, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPar, err := RunByID("fig6", obsSmokeOpts(dirPar, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TablesHash(tSerial) != TablesHash(tPar) {
+		t.Fatal("tables differ across parallelism")
+	}
+
+	serial := readDataFiles(t, filepath.Join(dirSerial, "fig6"))
+	par := readDataFiles(t, filepath.Join(dirPar, "fig6"))
+	if len(serial) != len(par) {
+		t.Fatalf("file sets differ: %v vs %v", fileNames(serial), fileNames(par))
+	}
+	for name, want := range serial {
+		got, ok := par[name]
+		if !ok {
+			t.Errorf("parallel run missing %q", name)
+			continue
+		}
+		if name == "manifest.json" {
+			var a, b metrics.Manifest
+			if err := json.Unmarshal(want, &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(got, &b); err != nil {
+				t.Fatal(err)
+			}
+			if a.Parallelism != 1 || b.Parallelism != 4 {
+				t.Errorf("manifest parallelism = %d/%d, want 1/4", a.Parallelism, b.Parallelism)
+			}
+			b.Parallelism = a.Parallelism // the single field allowed to vary
+			aj, _ := json.Marshal(a)
+			bj, _ := json.Marshal(b)
+			if string(aj) != string(bj) {
+				t.Errorf("manifests differ beyond parallelism:\n%s\n%s", aj, bj)
+			}
+			continue
+		}
+		if string(want) != string(got) {
+			t.Errorf("%q differs between -par 1 and -par 4 (%d vs %d bytes)", name, len(want), len(got))
+		}
+	}
+}
+
+// TestObsLabelDeterminism: the run-file label is a pure function of the
+// run's content — no counters, no completion-order dependence.
+func TestObsLabelDeterminism(t *testing.T) {
+	rc := RunConfig{Seed: 7, Duration: units.Duration(5 * units.Millisecond)}
+	rc.Scheme.Name = "DCQCN+Floodgate"
+	a, b := obsLabel(rc), obsLabel(rc)
+	if a != b {
+		t.Fatalf("label not deterministic: %q vs %q", a, b)
+	}
+	if !strings.HasPrefix(a, "dcqcn-floodgate-") {
+		t.Errorf("label slug = %q", a)
+	}
+	rc2 := rc
+	rc2.Seed = 8
+	if obsLabel(rc2) == a {
+		t.Error("different seeds collide")
+	}
+}

@@ -164,10 +164,4 @@ func RunExperiments(ids []string, o Options, emit func(id string, tables []Table
 	}
 }
 
-func runByID(id string, o Options) ([]Table, error) {
-	e, err := Lookup(id)
-	if err != nil {
-		return nil, err
-	}
-	return e.Run(o), nil
-}
+func runByID(id string, o Options) ([]Table, error) { return RunByID(id, o) }

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"floodgate/internal/device"
 	"floodgate/internal/sim"
 	"floodgate/internal/stats"
@@ -26,6 +28,9 @@ type Options struct {
 	// serial path exactly, n > 1 uses an n-worker pool. Output is
 	// bit-identical at every setting (see parallel.go).
 	Parallelism int
+	// Obs switches on per-run metrics sampling and timeline export
+	// (see obs.go). Enabling it never changes table output.
+	Obs ObsConfig
 }
 
 // DefaultOptions returns a laptop-friendly scale.
@@ -193,7 +198,17 @@ func Run(rc RunConfig) *RunResult {
 	if cfg.BufferSize == 0 {
 		cfg.BufferSize = opt.bufferSize()
 	}
+	// Observability: a private registry, sampler and trace ring per run.
+	// Sampler ticks only read state, so enabling this cannot change the
+	// simulation outcome (see obs.go and DESIGN.md §8).
+	var obs *obsRun
+	if opt.Obs.Enabled() {
+		obs = newObsRun(rc, opt, eng, &cfg)
+	}
 	net := device.New(cfg)
+	if obs != nil {
+		obs.start()
+	}
 
 	// Flows are injected progressively (not pre-scheduled) so the event
 	// heap stays shallow even for millions of arrivals.
@@ -240,6 +255,11 @@ func Run(rc RunConfig) *RunResult {
 	}
 	net.Run(units.Time(rc.Duration + drain))
 	net.Finalize()
+	if obs != nil {
+		if err := obs.export(); err != nil {
+			panic(fmt.Sprintf("exp: observability export failed: %v", err))
+		}
+	}
 	return &RunResult{
 		Scheme:    rc.Scheme.Name,
 		Stats:     col,

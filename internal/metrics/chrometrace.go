@@ -1,0 +1,40 @@
+// Chrome trace_event export: renders the flight recorder's packet
+// lifecycle as instant events that load directly into Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Rows group by node (pid) and
+// flow (tid), so one incast destination's SEND→ENQ→TX→DLVR ladder and
+// its RETX/RTO storms read straight off the timeline.
+package metrics
+
+import (
+	"fmt"
+	"io"
+
+	"floodgate/internal/trace"
+)
+
+// WriteChromeTrace renders trace events in the Chrome trace_event JSON
+// array format. Timestamps are microseconds with the full picosecond
+// resolution preserved in the fractional part. The JSON is built with
+// integer formatting only — no floats — so output is exact and stable.
+func WriteChromeTrace(w io.Writer, events []trace.Event) error {
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, e := range events {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		ps := int64(e.At)
+		// ph "i" (instant), scope "p" (process = node row).
+		_, err := fmt.Fprintf(w,
+			`%s{"name":%q,"ph":"i","s":"p","ts":%d.%06d,"pid":%d,"tid":%d,"args":{"kind":%q,"seq":%d,"size":%d,"dst":%d}}`,
+			sep, e.Op.String(), ps/1e6, ps%1e6, int64(e.Node), int64(e.Flow),
+			e.Kind.String(), int64(e.Seq), int64(e.Size), int64(e.Dst))
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

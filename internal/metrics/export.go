@@ -1,0 +1,110 @@
+// Exporters render a sampled run as machine-readable time series.
+// Output order is registration order throughout — never a map walk —
+// so files are byte-identical for identical runs at any parallelism.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"floodgate/internal/units"
+)
+
+// ndjsonHeader is the first line of the NDJSON stream.
+type ndjsonHeader struct {
+	Type        string `json:"type"` // "header"
+	PeriodPs    int64  `json:"period_ps"`
+	Ticks       int    `json:"ticks"`
+	Instruments int    `json:"instruments"`
+}
+
+// ndjsonSeries is one instrument's sampled time series: counter
+// cumulative totals, gauge levels, or histogram observation counts,
+// one sample per tick.
+type ndjsonSeries struct {
+	Type    string  `json:"type"` // "series"
+	Name    string  `json:"name"`
+	Unit    string  `json:"unit"`
+	Kind    string  `json:"kind"`
+	Samples []int64 `json:"samples"`
+}
+
+// ndjsonFinal is one instrument's end-of-run state.
+type ndjsonFinal struct {
+	Type    string  `json:"type"` // "final"
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Value   int64   `json:"value"`
+	Max     int64   `json:"max,omitempty"`
+	Sum     int64   `json:"sum,omitempty"`
+	Bounds  []int64 `json:"bounds,omitempty"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// WriteNDJSON streams the sampler's series and the registry's final
+// snapshots as newline-delimited JSON: a header line, then one
+// "series" and one "final" line per instrument, in registration order.
+func (s *Sampler) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ndjsonHeader{
+		Type: "header", PeriodPs: int64(s.period),
+		Ticks: s.ticks, Instruments: s.reg.Len(),
+	}); err != nil {
+		return err
+	}
+	snaps := s.reg.Snapshots()
+	for i, sn := range snaps {
+		samples := s.series[i]
+		if samples == nil {
+			samples = []int64{}
+		}
+		if err := enc.Encode(ndjsonSeries{
+			Type: "series", Name: sn.Name, Unit: sn.Unit,
+			Kind: sn.Kind.String(), Samples: samples,
+		}); err != nil {
+			return err
+		}
+		if err := enc.Encode(ndjsonFinal{
+			Type: "final", Name: sn.Name, Kind: sn.Kind.String(),
+			Value: sn.Value, Max: sn.Max, Sum: sn.Sum,
+			Bounds: sn.Bounds, Buckets: sn.Buckets,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the sampled series as one wide CSV: a t_ps column
+// (tick timestamps in picoseconds) followed by one column per
+// instrument in registration order.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "t_ps"); err != nil {
+		return err
+	}
+	snaps := s.reg.Snapshots()
+	for _, sn := range snaps {
+		if _, err := fmt.Fprintf(w, ",%s", sn.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for t := 0; t < s.ticks; t++ {
+		at := units.Duration(t+1) * s.period
+		if _, err := fmt.Fprintf(w, "%d", int64(at)); err != nil {
+			return err
+		}
+		for i := range snaps {
+			if _, err := fmt.Fprintf(w, ",%d", s.series[i][t]); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -61,6 +61,7 @@ type Engine struct {
 	events  []event
 	free    []int32
 	live    int // heap entries whose event is still scheduled
+	heapHW  int // peak heap length (self-instrumentation)
 	stopped bool
 
 	// Processed counts events executed since creation (for reporting).
@@ -175,6 +176,38 @@ func (e *Engine) compact() {
 	}
 }
 
+// Stats is a passive point-in-time snapshot of the engine's internals,
+// for self-instrumentation: event throughput, queue shape, the lazy-
+// cancellation dead-entry load, and the pool's acquire/release balance
+// (InUse must return to zero once every scheduled event has fired or
+// been cancelled).
+type Stats struct {
+	Processed     uint64 // events executed since creation
+	Live          int    // events still scheduled
+	HeapLen       int    // current heap length (live + dead entries)
+	HeapHighWater int    // peak heap length
+	DeadEntries   int    // lazily cancelled entries awaiting removal
+	SlabSize      int    // event slots ever allocated (pool high-water)
+	FreeSlots     int    // recycled slots awaiting reuse
+	InUse         int    // SlabSize - FreeSlots (pool balance)
+}
+
+// StatsSnapshot reads the engine's self-metrics. It performs no
+// allocation beyond the returned value and never mutates the engine,
+// so it is safe to call from sampler probes on the hot path.
+func (e *Engine) StatsSnapshot() Stats {
+	return Stats{
+		Processed:     e.Processed,
+		Live:          e.live,
+		HeapLen:       len(e.heap),
+		HeapHighWater: e.heapHW,
+		DeadEntries:   len(e.heap) - e.live,
+		SlabSize:      len(e.events),
+		FreeSlots:     len(e.free),
+		InUse:         len(e.events) - len(e.free),
+	}
+}
+
 // Stop makes Run return after the event currently executing completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -238,6 +271,9 @@ const heapArity = 4
 
 func (e *Engine) push(ent heapEnt) {
 	e.heap = append(e.heap, ent)
+	if len(e.heap) > e.heapHW {
+		e.heapHW = len(e.heap)
+	}
 	e.up(len(e.heap) - 1)
 }
 

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"floodgate/internal/units"
+)
+
+// TestStatsSnapshot exercises the engine's self-metrics through a
+// schedule / cancel / drain cycle: the high-water mark tracks the peak
+// heap length, dead entries reflect lazy cancellation, and the pool's
+// acquire/release balance returns to zero when the queue drains.
+func TestStatsSnapshot(t *testing.T) {
+	e := NewEngine()
+	if s := e.StatsSnapshot(); s != (Stats{}) {
+		t.Fatalf("fresh engine stats = %+v, want zero", s)
+	}
+
+	const n = 32
+	handles := make([]Handle, n)
+	for i := 0; i < n; i++ {
+		handles[i] = e.At(units.Time(i+1), func() {})
+	}
+	s := e.StatsSnapshot()
+	if s.Live != n || s.HeapLen != n || s.HeapHighWater != n {
+		t.Fatalf("after schedule: %+v", s)
+	}
+	if s.InUse != n || s.SlabSize != n || s.FreeSlots != 0 {
+		t.Fatalf("pool after schedule: %+v", s)
+	}
+	if s.DeadEntries != 0 {
+		t.Fatalf("dead entries = %d, want 0", s.DeadEntries)
+	}
+
+	// Cancel a minority: below the compaction threshold the entries stay
+	// in the heap as dead weight, but their slots recycle immediately.
+	const cancelled = 8
+	for i := 0; i < cancelled; i++ {
+		e.Cancel(handles[i])
+	}
+	s = e.StatsSnapshot()
+	if s.Live != n-cancelled {
+		t.Fatalf("live after cancel = %d, want %d", s.Live, n-cancelled)
+	}
+	if s.DeadEntries != cancelled {
+		t.Fatalf("dead after cancel = %d, want %d (heap %d)", s.DeadEntries, cancelled, s.HeapLen)
+	}
+	if s.InUse != n-cancelled || s.FreeSlots != cancelled {
+		t.Fatalf("pool after cancel: %+v", s)
+	}
+
+	e.RunAll()
+	s = e.StatsSnapshot()
+	if s.Processed != n-cancelled {
+		t.Fatalf("processed = %d, want %d", s.Processed, n-cancelled)
+	}
+	if s.Live != 0 || s.HeapLen != 0 {
+		t.Fatalf("queue not drained: %+v", s)
+	}
+	if s.InUse != 0 || s.FreeSlots != s.SlabSize {
+		t.Fatalf("pool unbalanced after drain: %+v", s)
+	}
+	if s.HeapHighWater != n {
+		t.Fatalf("high-water = %d, want %d", s.HeapHighWater, n)
+	}
+}
+
+// TestHeapHighWaterSurvivesCompaction: compaction shrinks the heap but
+// must not rewind the recorded peak.
+func TestHeapHighWaterSurvivesCompaction(t *testing.T) {
+	e := NewEngine()
+	var victims []Handle
+	for i := 0; i < 4*minCompactLen; i++ {
+		victims = append(victims, e.At(units.Time(i+1), func() {}))
+	}
+	peak := e.StatsSnapshot().HeapHighWater
+	for _, h := range victims {
+		e.Cancel(h)
+	}
+	s := e.StatsSnapshot()
+	if s.HeapLen >= peak {
+		t.Fatalf("compaction did not shrink heap: len %d, peak %d", s.HeapLen, peak)
+	}
+	if s.HeapHighWater != peak {
+		t.Fatalf("high-water rewound: %d, want %d", s.HeapHighWater, peak)
+	}
+}

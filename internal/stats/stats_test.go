@@ -224,3 +224,64 @@ func TestSlowdownNeverBelowOneInRealRun(t *testing.T) {
 		t.Fatalf("slowdown %v < 1", s.Slowdown)
 	}
 }
+
+// TestWireClassAccounting pins the credit-vs-control split behind the
+// Fig 18 bandwidth stacking: Floodgate credits and switchSYNs are
+// WireCredit, everything else non-data (ACKs, pauses, pulls) is
+// WireCtrl, and the two never bleed into each other's totals.
+func TestWireClassAccounting(t *testing.T) {
+	bin := 10 * units.Microsecond
+	c := NewCollector(bin)
+	// Two bins of data, one credit burst, scattered control.
+	c.OnWire(units.Time(1*units.Microsecond), WireData, 1500)
+	c.OnWire(units.Time(12*units.Microsecond), WireData, 1500)
+	c.OnWire(units.Time(2*units.Microsecond), WireCredit, 64)
+	c.OnWire(units.Time(3*units.Microsecond), WireCredit, 64)
+	c.OnWire(units.Time(4*units.Microsecond), WireCtrl, 64)
+
+	if got := c.WireTotal(WireData); got != 3000 {
+		t.Errorf("data total = %d, want 3000", got)
+	}
+	if got := c.WireTotal(WireCredit); got != 128 {
+		t.Errorf("credit total = %d, want 128", got)
+	}
+	if got := c.WireTotal(WireCtrl); got != 64 {
+		t.Errorf("ctrl total = %d, want 64", got)
+	}
+
+	// Per-bin throughput: bin 0 carries 1500B data, bin 1 the other 1500B.
+	tp := c.WireThroughput(WireData)
+	if len(tp) < 2 {
+		t.Fatalf("throughput bins = %d, want >= 2", len(tp))
+	}
+	wantRate := units.Rate(1500, bin)
+	if tp[0] != wantRate || tp[1] != wantRate {
+		t.Errorf("data throughput = %v,%v, want %v each", tp[0], tp[1], wantRate)
+	}
+	// Credit bytes land only in bin 0.
+	ctp := c.WireThroughput(WireCredit)
+	if ctp[0] != units.Rate(128, bin) {
+		t.Errorf("credit throughput[0] = %v, want %v", ctp[0], units.Rate(128, bin))
+	}
+	if len(ctp) > 1 && ctp[1] != 0 {
+		t.Errorf("credit bled into bin 1: %v", ctp[1])
+	}
+
+	// Average rates over the run are totals over runtime.
+	run := 20 * units.Microsecond
+	if got := c.AvgWireRate(WireCredit, run); got != units.Rate(128, run) {
+		t.Errorf("avg credit rate = %v, want %v", got, units.Rate(128, run))
+	}
+	if got := c.AvgWireRate(WireData, run); got != units.Rate(3000, run) {
+		t.Errorf("avg data rate = %v, want %v", got, units.Rate(3000, run))
+	}
+}
+
+func TestWireClassNames(t *testing.T) {
+	want := [NumWireClasses]string{"data", "ctrl", "credit"}
+	for cl := WireClass(0); cl < NumWireClasses; cl++ {
+		if cl.String() != want[cl] {
+			t.Errorf("class %d name = %q, want %q", cl, cl.String(), want[cl])
+		}
+	}
+}

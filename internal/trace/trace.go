@@ -29,10 +29,12 @@ const (
 	OpCredit            // Floodgate credit emitted
 	OpPause             // pause frame emitted (PFC/BFC/dst/tag)
 	OpResume            // resume frame emitted
+	OpRetx              // go-back-N or NDP segment retransmission
+	OpRTO               // retransmission timeout fired (sender rewound)
 	nOps
 )
 
-var opNames = [nOps]string{"SEND", "ENQ", "PARK", "TX", "DLVR", "DROP", "CREDIT", "PAUSE", "RESUME"}
+var opNames = [nOps]string{"SEND", "ENQ", "PARK", "TX", "DLVR", "DROP", "CREDIT", "PAUSE", "RESUME", "RETX", "RTO"}
 
 func (o Op) String() string {
 	if o < nOps {
@@ -60,9 +62,10 @@ func (e Event) String() string {
 
 // Filter selects which events are recorded. Zero fields match all.
 type Filter struct {
-	Flow packet.FlowID // 0 = any
-	Node packet.NodeID // 0 = any (node 0 is always a switch/spine; use -1 for none)
-	Ops  map[Op]bool   // nil = any
+	Flow  packet.FlowID        // 0 = any
+	Node  packet.NodeID        // 0 = any (node 0 is always a switch/spine; use -1 for none)
+	Ops   map[Op]bool          // nil = any
+	Kinds map[packet.Kind]bool // nil = any (packet.Data is Kind 0, so a set, not a scalar)
 }
 
 func (f Filter) match(e Event) bool {
@@ -73,6 +76,9 @@ func (f Filter) match(e Event) bool {
 		return false
 	}
 	if f.Ops != nil && !f.Ops[e.Op] {
+		return false
+	}
+	if f.Kinds != nil && !f.Kinds[e.Kind] {
 		return false
 	}
 	return true

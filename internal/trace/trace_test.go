@@ -133,9 +133,53 @@ func TestEndToEndLifecycle(t *testing.T) {
 
 // TestParkTraced checks Floodgate VOQ parking shows in the trace.
 func TestOpNames(t *testing.T) {
-	for op := trace.OpSend; op <= trace.OpResume; op++ {
+	for op := trace.OpSend; op <= trace.OpRTO; op++ {
 		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
 			t.Fatalf("op %d has no name", op)
 		}
+	}
+	if trace.OpRetx.String() != "RETX" || trace.OpRTO.String() != "RTO" {
+		t.Fatalf("retransmission op names: %q %q", trace.OpRetx, trace.OpRTO)
+	}
+}
+
+func TestNodeFilter(t *testing.T) {
+	b := trace.NewBuffer(16, trace.Filter{Node: 3})
+	b.Record(trace.Event{Node: 3, Op: trace.OpSend})
+	b.Record(trace.Event{Node: 4, Op: trace.OpSend}) // wrong node
+	b.Record(trace.Event{Node: 3, Op: trace.OpDrop})
+	if b.Total() != 2 {
+		t.Fatalf("node filter matched %d, want 2", b.Total())
+	}
+	for _, e := range b.Events() {
+		if e.Node != 3 {
+			t.Fatalf("retained event from node %d", e.Node)
+		}
+	}
+}
+
+func TestKindFilter(t *testing.T) {
+	// packet.Data is Kind 0, so the filter must be a set: a scalar field
+	// could never distinguish "only data" from "any kind".
+	b := trace.NewBuffer(16, trace.Filter{Kinds: map[packet.Kind]bool{packet.Data: true}})
+	b.Record(trace.Event{Kind: packet.Data, Flow: 1})
+	b.Record(trace.Event{Kind: packet.Credit, Flow: 2})
+	b.Record(trace.Event{Kind: packet.Ack, Flow: 3})
+	b.Record(trace.Event{Kind: packet.Data, Flow: 4})
+	if b.Total() != 2 {
+		t.Fatalf("kind filter matched %d, want 2", b.Total())
+	}
+	for _, e := range b.Events() {
+		if e.Kind != packet.Data {
+			t.Fatalf("retained %v event", e.Kind)
+		}
+	}
+	// Combined node + kind filtering.
+	c := trace.NewBuffer(16, trace.Filter{Node: 5, Kinds: map[packet.Kind]bool{packet.Credit: true}})
+	c.Record(trace.Event{Node: 5, Kind: packet.Credit})
+	c.Record(trace.Event{Node: 5, Kind: packet.Data})
+	c.Record(trace.Event{Node: 6, Kind: packet.Credit})
+	if c.Total() != 1 {
+		t.Fatalf("combined filter matched %d, want 1", c.Total())
 	}
 }

@@ -25,6 +25,10 @@ const (
 	Second      Duration = 1000 * Millisecond
 )
 
+// FromNanos converts a nanosecond count (e.g. a wall-clock flag value)
+// to a simulation Duration.
+func FromNanos(ns int64) Duration { return Duration(ns) * Nanosecond }
+
 // Add offsets a timestamp by a duration.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 

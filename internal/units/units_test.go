@@ -117,3 +117,19 @@ func TestMulDivAgainstSmallCases(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFromNanos(t *testing.T) {
+	if got := FromNanos(0); got != 0 {
+		t.Errorf("FromNanos(0) = %v", got)
+	}
+	if got := FromNanos(1); got != Nanosecond {
+		t.Errorf("FromNanos(1) = %v, want 1ns", got)
+	}
+	// 10µs as a flag value (time.Duration nanoseconds) round-trips.
+	if got := FromNanos(10_000); got != 10*Microsecond {
+		t.Errorf("FromNanos(10000) = %v, want 10us", got)
+	}
+	if got := FromNanos(2_000_000_000); got != 2*Second {
+		t.Errorf("FromNanos(2e9) = %v, want 2s", got)
+	}
+}
