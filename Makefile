@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json obs-smoke ci
+.PHONY: build test race vet lint bench bench-json obs-smoke fault-smoke ci
 
 build:
 	$(GO) build ./...
@@ -42,4 +42,14 @@ bench-json:
 obs-smoke:
 	$(GO) test -run 'TestObs' -count=1 ./internal/exp
 
-ci: build lint test race obs-smoke
+# Fault-injection smoke: short seeded recovery runs (combined 20% loss,
+# link flaps, switch restart, wedged-run watchdog, cross-parallelism
+# bit-identity) under the race detector with the simdebug pool
+# lifecycle assertions armed.
+fault-smoke:
+	$(GO) test -race -tags simdebug -count=1 ./internal/fault
+	$(GO) test -race -tags simdebug -count=1 -timeout 1200s \
+		-run 'TestFloodgateRecovers|TestFloodgateResyncs|TestWatchdog|TestFaultedRunsBitIdentical|TestRunConfigValidation|TestRunJobsIsolates' \
+		./internal/sim ./internal/exp
+
+ci: build lint test race obs-smoke fault-smoke

@@ -6,6 +6,13 @@
 //	floodsim -exp fig10 -scale 0.25
 //	floodsim -exp all -scale 0.5 -seed 7 -par 8
 //	floodsim -exp fig6 -obs out/ -sample 10us
+//	floodsim -faults list
+//	floodsim -faults storm -seed 7
+//
+// -faults runs one named fault-injection scenario (link flaps, switch
+// restarts, Gilbert–Elliott burst loss, ...) from the fault matrix
+// against DCQCN and DCQCN+Floodgate; `-faults list` prints the menu,
+// and `-exp faultmatrix` runs the whole matrix.
 //
 // With -obs, every simulation additionally writes NDJSON/CSV metric
 // time series and a Chrome trace_event timeline (open in Perfetto)
@@ -38,8 +45,32 @@ func main() {
 		list   = flag.Bool("list", false, "list available experiments")
 		obsDir = flag.String("obs", "", "write per-run metrics/timeline files under this directory")
 		sample = flag.Duration("sample", 0, "metrics sampling period on the simulation clock (e.g. 10us); 0 = default")
+		faults = flag.String("faults", "", "run one fault-injection scenario, or 'list'")
 	)
 	flag.Parse()
+
+	if *faults == "list" {
+		fmt.Println("fault scenarios (floodsim -faults <name>):")
+		for _, n := range floodgate.FaultScenarioNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+	if *faults != "" {
+		o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par}
+		start := time.Now() //lint:allow walltime progress reporting times the real run, not the simulation
+		tables, err := floodgate.RunFaultScenario(*faults, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "floodsim:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("[faults/%s done in %v at scale %.2f]\n", *faults,
+			time.Since(start).Round(time.Millisecond), *scale) //lint:allow walltime progress reporting times the real run, not the simulation
+		return
+	}
 
 	if *list || *expID == "" {
 		fmt.Println("available experiments:")

@@ -25,6 +25,7 @@ import (
 	"floodgate/internal/core"
 	"floodgate/internal/device"
 	"floodgate/internal/exp"
+	"floodgate/internal/fault"
 	"floodgate/internal/metrics"
 	"floodgate/internal/packet"
 	"floodgate/internal/sim"
@@ -163,6 +164,58 @@ func Run(rc RunConfig) *RunResult { return exp.Run(rc) }
 // returns results by submission index. Results are bit-identical to
 // calling Run in a loop; see DESIGN.md §"Parallel execution".
 func RunMany(rcs []RunConfig) []*RunResult { return exp.RunMany(rcs) }
+
+// ---- Faults ----
+
+// FaultPlan schedules deterministic link/switch failures for a run
+// (RunConfig.Faults or Network.InstallFaults): timed link-down/up and
+// switch-restart events plus optional Gilbert–Elliott burst loss.
+// Same plan + same seed = bit-identical runs at any parallelism.
+type (
+	FaultPlan      = fault.Plan
+	FaultEvent     = fault.Event
+	FaultLink      = fault.Link
+	FaultKind      = fault.Kind
+	GilbertElliott = fault.GilbertElliott
+)
+
+// Fault event kinds.
+const (
+	FaultLinkDown      = fault.LinkDown
+	FaultLinkUp        = fault.LinkUp
+	FaultSwitchRestart = fault.SwitchRestart
+)
+
+// FaultFlap builds the event sequence for a repeatedly flapping link;
+// BurstWithMeanLoss builds a bursty loss chain with a given mean rate.
+var (
+	FaultFlap         = fault.Flap
+	BurstWithMeanLoss = fault.BurstWithMeanLoss
+)
+
+// FaultStats summarizes a run's fault-plane activity
+// (Network.FaultStats); StallDiagnosis explains a tripped progress
+// watchdog (RunResult.Diagnosis); RunError is the structured panic the
+// executor recovers at the run boundary.
+type (
+	FaultStats     = device.FaultStats
+	StallDiagnosis = exp.StallDiagnosis
+	RunError       = exp.RunError
+)
+
+// FaultScenarioNames lists the named fault scenarios of the
+// "faultmatrix" experiment (floodsim -faults).
+var FaultScenarioNames = exp.FaultScenarioNames
+
+// RunFaultScenario runs one named fault scenario against DCQCN and
+// DCQCN+Floodgate and returns the resulting matrix rows.
+func RunFaultScenario(name string, o Options) ([]Table, error) {
+	return exp.RunFaultScenario(name, o)
+}
+
+// RecoveredPanics reports how many experiment runs panicked and were
+// isolated into errors by the parallel executor.
+var RecoveredPanics = exp.RecoveredPanics
 
 // ---- Topologies ----
 

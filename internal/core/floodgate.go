@@ -45,6 +45,14 @@ type Module struct {
 
 	maxWins int // peak window-table size (§7.4 memory overhead)
 
+	// epoch is the module's boot generation, stamped onto every
+	// forwarded data packet. A switch restart advances it, letting
+	// downstream switches detect the PSN rebase and resynchronize
+	// instead of crediting a phantom gap. resyncs counts how often this
+	// switch detected an upstream restart.
+	epoch   uint32
+	resyncs int
+
 	// Instrument handles copied from the network's NetMetrics at
 	// construction (value types, nil-safe when no registry is attached).
 	mWindows         metrics.Gauge
@@ -52,6 +60,7 @@ type Module struct {
 	mVOQsInUse       metrics.Gauge
 	mParkedBytes     metrics.Gauge
 	mCreditsInFlight metrics.Gauge
+	mResyncs         metrics.Counter
 }
 
 // chanKey addresses one upstream channel: the ingress port the data
@@ -85,6 +94,7 @@ type downChan struct {
 	cumFwd  units.ByteSize // cumulative bytes forwarded (credited basis)
 	lastPSN units.ByteSize // highest upstream PSN seen (gap detection)
 	pending units.ByteSize // bytes awaiting a credit packet
+	epoch   uint32         // upstream boot epoch last seen (0 = first contact)
 }
 
 // dstWin is the upstream per-destination window.
@@ -106,11 +116,19 @@ type upPort struct {
 	lastCum units.ByteSize
 }
 
+// parked is one VOQ entry: the packet plus the egress port its bytes
+// are attributed to (routing may steer elsewhere by drain time when a
+// link failed in between; the attribution must then move).
+type parked struct {
+	p   *packet.Packet
+	out int32
+}
+
 // voq parks packets whose destination window is exhausted.
 type voq struct {
 	idx    int
 	group  int
-	q      []*packet.Packet
+	q      []parked
 	bytes  units.ByteSize
 	perDst map[packet.NodeID]units.ByteSize
 	dsts   []packet.NodeID // destinations mapped to this VOQ
@@ -135,6 +153,7 @@ func newModule(cfg Config, sw *device.Switch) *Module {
 		facesHost:   make([]bool, len(node.Ports)),
 		voqOf:       make(map[packet.NodeID]*voq),
 		pausedHosts: make(map[packet.NodeID]map[packet.NodeID]bool),
+		epoch:       1,
 	}
 	nm := &sw.Net().Metrics
 	m.mWindows = nm.FGWindows
@@ -142,6 +161,7 @@ func newModule(cfg Config, sw *device.Switch) *Module {
 	m.mVOQsInUse = nm.FGVOQsInUse
 	m.mParkedBytes = nm.FGParkedBytes
 	m.mCreditsInFlight = nm.FGCreditsInFlight
+	m.mResyncs = nm.FGResyncs
 	for i := range node.Ports {
 		m.facesHost[i] = sw.PortFacesHost(i)
 		m.facesSw[i] = !m.facesHost[i]
@@ -230,13 +250,21 @@ func (m *Module) OnIngress(p *packet.Packet, inPort, outPort int) device.Verdict
 	return device.Verdict{Consumed: true}
 }
 
-// forward consumes window and stamps the loss-recovery PSN.
+// forward consumes window and stamps the loss-recovery PSN (plus the
+// boot epoch so a downstream switch can tell a restart from a gap).
 func (m *Module) forward(w *dstWin, p *packet.Packet, outPort int) {
 	w.avail -= p.Size
 	m.mWindowBytes.Add(int64(p.Size))
 	up := w.port(outPort)
 	up.sent += p.Size
 	p.PSN = up.sent
+	p.FGEpoch = m.epoch
+	if m.cfg.EscapeTimeout > 0 {
+		// Keep a timer alive while bytes are outstanding, so a credit
+		// stall is eventually escaped even if the window never exhausts
+		// (e.g. the very last credits of a flow are lost).
+		m.armSYN(w)
+	}
 }
 
 // winFor lazily initialises the per-destination window from the
@@ -341,7 +369,7 @@ func (m *Module) hashVOQ(dst packet.NodeID, group int) *voq {
 func (m *Module) park(v *voq, p *packet.Packet, outPort int) {
 	p.ViaVOQ = true
 	p.EnqueuedAt = m.now()
-	v.q = append(v.q, p)
+	v.q = append(v.q, parked{p: p, out: int32(outPort)})
 	v.bytes += p.Size
 	v.perDst[p.Dst] += p.Size
 	m.mParkedBytes.Add(int64(p.Size))
@@ -355,8 +383,9 @@ func (m *Module) park(v *voq, p *packet.Packet, outPort int) {
 // (shared-VOQ HOL, a corner the paper accepts).
 func (m *Module) drain(v *voq) {
 	for len(v.q) > 0 {
-		p := v.q[0]
-		outPort := m.sw.Net().Topo.ECMP(m.sw.Node().ID, p.Src, p.Dst)
+		e := v.q[0]
+		p := e.p
+		outPort := m.sw.Net().Route(m.sw.Node().ID, p.Src, p.Dst)
 		w := m.winFor(p.Dst, outPort)
 		if w.avail < p.Size {
 			m.armSYN(w)
@@ -366,6 +395,12 @@ func (m *Module) drain(v *voq) {
 		v.bytes -= p.Size
 		v.perDst[p.Dst] -= p.Size
 		m.mParkedBytes.Add(-int64(p.Size))
+		if int(e.out) != outPort {
+			// Routing moved while the packet was parked (a link went
+			// down); move the port-occupancy attribution with it.
+			m.sw.NotePortBytes(int(e.out), -p.Size)
+			m.sw.NotePortBytes(outPort, p.Size)
+		}
 		m.forward(w, p, outPort)
 		m.sw.InjectEgress(p, outPort, 0)
 		m.maybeDstResume(p.Dst)
@@ -520,6 +555,12 @@ func (m *Module) applyCredit(port int, e packet.CreditEntry) {
 		return // stale duplicate
 	}
 	up.lastCum = e.Cum
+	if up.lastCum > up.sent {
+		// The downstream cumulative includes bytes from before our own
+		// restart (our sent counter rebased): clamp so outstanding can
+		// never go negative and inflate the window.
+		up.lastCum = up.sent
+	}
 	// Recompute availability: init minus bytes still outstanding on any
 	// downstream channel.
 	var outstanding units.ByteSize
@@ -547,7 +588,19 @@ func (m *Module) armSYN(w *dstWin) {
 }
 
 func (m *Module) fireSYN(w *dstWin) {
-	if w.avail >= packet.MTU {
+	if w.avail >= w.init {
+		return // fully credited: nothing to recover, let the timer die
+	}
+	now := m.now()
+	// Escape hatch: after EscapeTimeout without any credit, probe every
+	// channel with sent bytes — even ones the stale-duplicate filter or
+	// a restart clamp left looking synced — so a restarted downstream
+	// switch cannot strand the window (see Config.EscapeTimeout).
+	escape := m.cfg.EscapeTimeout > 0 && now.Sub(w.lastCredit) >= m.cfg.EscapeTimeout
+	if w.avail >= packet.MTU && !escape {
+		// Not exhausted and credits are recent: stay armed so a silent
+		// credit stall is eventually escaped.
+		m.armSYNAgain(w)
 		return
 	}
 	n := m.sw.Net()
@@ -560,14 +613,14 @@ func (m *Module) fireSYN(w *dstWin) {
 		if !ok {
 			continue
 		}
-		if u.sent > u.lastCum {
+		if u.sent > u.lastCum || (escape && u.sent > 0) {
 			syn := n.NewCtrl(packet.SwitchSYN, 0, m.sw.Node().ID, w.dst)
 			syn.PSN = u.sent
 			m.sw.SendCtrl(syn, port)
 			probed = true
 		}
 	}
-	if probed {
+	if probed || escape {
 		m.armSYNAgain(w)
 	}
 }
@@ -584,6 +637,21 @@ func (m *Module) checkPSNGap(p *packet.Packet, inPort int) {
 		return
 	}
 	ch := m.chanFor(inPort, p.Dst)
+	if p.FGEpoch != ch.epoch {
+		if ch.epoch != 0 {
+			// The upstream switch restarted: its PSN sequence rebased,
+			// so the usual gap arithmetic would credit a huge phantom
+			// loss. Rebase the channel to just before this packet and
+			// count the resync. (On first contact — epoch 0 — the
+			// normal gap path below is exactly right: if *we* are the
+			// freshly restarted side, it credits everything the
+			// upstream had outstanding, restoring its window.)
+			ch.lastPSN = p.PSN - p.Size
+			m.resyncs++
+			m.mResyncs.Inc()
+		}
+		ch.epoch = p.FGEpoch
+	}
 	expected := ch.lastPSN + p.Size
 	if p.PSN > expected {
 		lost := p.PSN - expected
@@ -679,3 +747,102 @@ func (m *Module) maybeDstResume(dst packet.NodeID) {
 }
 
 func (m *Module) now() units.Time { return m.sw.Net().Eng.Now() }
+
+// ---- Fault plane hooks (device.Restarter / device.StallReporter) ----
+
+// Restart implements device.Restarter: the switch restarted and lost
+// all Floodgate soft state. Parked packets are dropped (their buffer
+// share freed), windows, VOQ assignments, credit channels and pending
+// credit state are forgotten, and the boot epoch advances so every
+// downstream switch detects the PSN rebase on the next forwarded packet
+// (checkPSNGap) instead of crediting a phantom gap. Upstream windows
+// pointed at this switch recover through the normal first-contact gap
+// credit plus the switchSYN/escape probes.
+func (m *Module) Restart() {
+	n := m.sw.Net()
+	node := m.sw.Node()
+
+	// Parked packets die with the switch.
+	for _, v := range m.voqs {
+		for _, e := range v.q {
+			m.sw.NotePortBytes(int(e.out), -e.p.Size)
+			m.sw.ReleaseParked(e.p)
+			m.mParkedBytes.Add(-int64(e.p.Size))
+			n.Stats.Drop()
+			n.Metrics.Drops.Inc()
+			n.TraceEvent(trace.OpDrop, node.ID, e.p)
+			n.Recycle(e.p)
+		}
+		v.q = nil
+		v.bytes = 0
+		v.dsts = v.dsts[:0]
+		clear(v.perDst)
+	}
+	m.mVOQsInUse.Add(-int64(m.inUse))
+	if m.inUse > 0 {
+		m.sw.Net().Stats.VOQInUse(0)
+	}
+	m.inUse = 0
+	m.free = m.free[:0]
+	m.freeUp = m.freeUp[:0]
+	if m.grouped {
+		half := len(m.voqs) / 2
+		for i := 0; i < half; i++ {
+			m.free = append(m.free, i)
+		}
+		for i := half; i < len(m.voqs); i++ {
+			m.freeUp = append(m.freeUp, i)
+		}
+	} else {
+		for i := range m.voqs {
+			m.free = append(m.free, i)
+		}
+	}
+	clear(m.voqOf)
+
+	// Windows: cancel loss-recovery timers and drop the table.
+	var occupied int64
+	//lint:allow maprange order-independent teardown: summing deficits and cancelling timers
+	for _, w := range m.wins {
+		occupied += int64(w.init - w.avail)
+		n.Eng.Cancel(w.synTimer)
+	}
+	m.mWindowBytes.Add(-occupied)
+	m.mWindows.Add(-int64(len(m.wins)))
+	clear(m.wins)
+
+	// Downstream credit state: channels and pending credits are gone.
+	// Stale credit timers may still fire; creditTick no-ops on an empty
+	// pending list, so just reset the arm flags for new traffic.
+	clear(m.down)
+	for i := range m.pending {
+		m.pending[i] = m.pending[i][:0]
+		m.timerArm[i] = false
+	}
+
+	// Per-dst pause memory is lost too; the device layer wakes the
+	// hosts via its own onPeerReset nudge.
+	clear(m.pausedHosts)
+
+	m.epoch++
+}
+
+// Resyncs reports how many upstream-restart resynchronizations this
+// switch performed (tests and fault reports).
+func (m *Module) Resyncs() int { return m.resyncs }
+
+// StallReport implements device.StallReporter for watchdog diagnoses.
+func (m *Module) StallReport() device.StallInfo {
+	si := device.StallInfo{Resyncs: m.resyncs}
+	//lint:allow maprange order-independent aggregation over the window table
+	for _, w := range m.wins {
+		si.WindowDeficit += w.init - w.avail
+		if w.avail < packet.MTU {
+			si.ExhaustedWindows++
+		}
+	}
+	for _, v := range m.voqs {
+		si.ParkedBytes += v.bytes
+	}
+	return si
+}

@@ -1,0 +1,417 @@
+// Runtime fault plane: the device-layer realization of a fault.Plan.
+// Link state lives here (the Topology stays immutable so parallel runs
+// can share it); routing consults it through Network.Route, transmit
+// paths through Network.linkDropped, and scheduled events mutate it via
+// capture-free engine callbacks. Everything is driven by the sim clock
+// and per-link PRNGs forked from the run seed, so faulted runs remain
+// bit-identical at any parallelism.
+
+package device
+
+import (
+	"fmt"
+
+	"floodgate/internal/fault"
+	"floodgate/internal/packet"
+	"floodgate/internal/sim"
+	"floodgate/internal/topo"
+	"floodgate/internal/trace"
+	"floodgate/internal/units"
+)
+
+// geChain is one directed link's Gilbert–Elliott state. The PRNG is
+// embedded by value and seeded from (run seed, node, port), so chains
+// are independent of each other and of every other random draw.
+type geChain struct {
+	on  bool // burst loss applies to this directed port
+	bad bool
+	rnd sim.Rand
+}
+
+// faultEvArg is the prebuilt argument for one scheduled fault event
+// (capture-free engine callback, as everywhere on the hot path).
+type faultEvArg struct {
+	n  *Network
+	ev fault.Event
+}
+
+func faultEventFn(a any) {
+	arg := a.(*faultEvArg)
+	arg.n.applyFault(arg.ev)
+}
+
+// faultState is the network's mutable fault-plane state.
+type faultState struct {
+	plan      *fault.Plan
+	linkUp    [][]bool // [node][port]: port's link is in service
+	ge        [][]geChain
+	args      []faultEvArg
+	downPorts int // directed ports currently out of service
+
+	linkEvents int // link state transitions applied
+	linksDown  int // bidirectional links currently down
+	restarts   int // switch restarts applied
+}
+
+// InstallFaults arms a fault plan on the network: validates it, builds
+// the runtime link/loss state, and schedules every event on the engine.
+// Call once, after New and before Run. A nil plan is a no-op.
+func (n *Network) InstallFaults(p *fault.Plan, seed uint64) {
+	if p == nil {
+		return
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if n.faults != nil {
+		panic("device: InstallFaults called twice")
+	}
+	f := &faultState{plan: p}
+	f.linkUp = make([][]bool, len(n.Topo.Nodes))
+	f.ge = make([][]geChain, len(n.Topo.Nodes))
+	for _, node := range n.Topo.Nodes {
+		up := make([]bool, len(node.Ports))
+		for i := range up {
+			up[i] = true
+		}
+		f.linkUp[node.ID] = up
+		chains := make([]geChain, len(node.Ports))
+		if p.Burst != nil && node.Kind == topo.SwitchNode {
+			for i := range node.Ports {
+				pt := &node.Ports[i]
+				if n.Topo.Node(pt.Peer).Kind != topo.SwitchNode || !p.BurstApplies(node.ID, pt.Peer) {
+					continue
+				}
+				mix := uint64(node.ID)<<20 | uint64(i)
+				chains[i] = geChain{on: true, rnd: *sim.NewRand(seed ^ mix*0x9e3779b97f4a7c15)}
+			}
+		}
+		f.ge[node.ID] = chains
+	}
+	evs := p.SortedEvents()
+	f.args = make([]faultEvArg, len(evs))
+	for i, ev := range evs {
+		n.mustResolveEvent(ev)
+		f.args[i] = faultEvArg{n: n, ev: ev}
+		n.Eng.AtArg(ev.At, faultEventFn, &f.args[i])
+	}
+	n.faults = f
+}
+
+// mustResolveEvent panics early (at install, not mid-run) when an event
+// names a link or switch the topology does not have.
+func (n *Network) mustResolveEvent(ev fault.Event) {
+	switch ev.Kind {
+	case fault.LinkDown, fault.LinkUp:
+		if n.portTo(ev.Link.A, ev.Link.B) < 0 || n.portTo(ev.Link.B, ev.Link.A) < 0 {
+			panic(fmt.Sprintf("device: fault plan names nonexistent link %v", ev.Link))
+		}
+	case fault.SwitchRestart:
+		if int(ev.Node) >= len(n.Switches) || n.Switches[ev.Node] == nil {
+			panic(fmt.Sprintf("device: fault plan restarts non-switch node %d", ev.Node))
+		}
+	}
+}
+
+// portTo returns a's port index toward b, or -1 if not adjacent.
+func (n *Network) portTo(a, b packet.NodeID) int {
+	ports := n.Topo.Node(a).Ports
+	for i := range ports {
+		if ports[i].Peer == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Route picks the egress port at node for a (src, dst) pair. Without
+// faults (or with every candidate live) it is exactly Topology.ECMP; a
+// downed link re-hashes the pair over the live subset, so unaffected
+// pairs keep their paths and affected ones move deterministically.
+func (n *Network) Route(node, src, dst packet.NodeID) int {
+	f := n.faults
+	if f == nil || f.downPorts == 0 {
+		return n.Topo.ECMP(node, src, dst)
+	}
+	ports := n.Topo.NextPorts(node, dst)
+	if len(ports) == 1 {
+		return ports[0]
+	}
+	up := f.linkUp[node]
+	live := 0
+	for _, pt := range ports {
+		if up[pt] {
+			live++
+		}
+	}
+	if live == 0 || live == len(ports) {
+		// All dead (nothing better to do) or all live: plain ECMP.
+		return ports[topo.PairHash(uint64(src), uint64(dst))%uint64(len(ports))]
+	}
+	k := topo.PairHash(uint64(src), uint64(dst)) % uint64(live)
+	for _, pt := range ports {
+		if !up[pt] {
+			continue
+		}
+		if k == 0 {
+			return pt
+		}
+		k--
+	}
+	return ports[0] // unreachable: k < live
+}
+
+// linkDropped decides, at the end of serialization, whether the frame
+// leaving node via port is lost to a fault: a downed link swallows
+// everything (control included — the wire is dead); a burst-lossy link
+// advances its Gilbert–Elliott chain once per data/credit/SYN frame.
+func (n *Network) linkDropped(node packet.NodeID, port int, k packet.Kind) bool {
+	f := n.faults
+	if f == nil {
+		return false
+	}
+	if !f.linkUp[node][port] {
+		return true
+	}
+	g := &f.ge[node][port]
+	if !g.on || !lossyKind(k) {
+		return false
+	}
+	ch := f.plan.Burst
+	if g.bad {
+		lost := ch.LossBad > 0 && g.rnd.Float64() < ch.LossBad
+		if g.rnd.Float64() < ch.PBadGood {
+			g.bad = false
+		}
+		return lost
+	}
+	lost := ch.LossGood > 0 && g.rnd.Float64() < ch.LossGood
+	if g.rnd.Float64() < ch.PGoodBad {
+		g.bad = true
+	}
+	return lost
+}
+
+// lossyKind mirrors the uniform-loss injector's eligibility: payloads
+// and the Floodgate recovery plane, not PFC/ACK control.
+func lossyKind(k packet.Kind) bool {
+	switch k {
+	case packet.Data, packet.Credit, packet.SwitchSYN:
+		return true
+	}
+	return false
+}
+
+// dropOnWire accounts a frame lost on a dead or lossy link at node.
+func (n *Network) dropOnWire(node packet.NodeID, p *packet.Packet) {
+	n.Stats.Drop()
+	n.Metrics.Drops.Inc()
+	if p.Kind == packet.Credit {
+		// A lost credit can no longer be applied upstream.
+		n.Metrics.FGCreditsInFlight.Add(-1)
+	}
+	n.TraceEvent(trace.OpDrop, node, p)
+	n.Recycle(p)
+}
+
+// applyFault executes one scheduled event.
+func (n *Network) applyFault(ev fault.Event) {
+	switch ev.Kind {
+	case fault.LinkDown:
+		n.setLinkState(ev.Link, false)
+	case fault.LinkUp:
+		n.setLinkState(ev.Link, true)
+	case fault.SwitchRestart:
+		n.restartSwitch(ev.Node)
+	}
+}
+
+// setLinkState transitions a bidirectional link. Link-up additionally
+// clears PFC pause state on both endpoints: a pause (or the resume that
+// should have ended it) may have been lost with the link, and PFC state
+// is conservative and re-derivable, so forgetting it cannot deadlock —
+// at worst the peer re-pauses on the next threshold crossing.
+func (n *Network) setLinkState(l fault.Link, up bool) {
+	f := n.faults
+	pa := n.portTo(l.A, l.B)
+	pb := n.portTo(l.B, l.A)
+	if f.linkUp[l.A][pa] == up {
+		return
+	}
+	f.linkUp[l.A][pa] = up
+	f.linkUp[l.B][pb] = up
+	f.linkEvents++
+	n.Metrics.FaultLinkEvents.Inc()
+	if up {
+		f.downPorts -= 2
+		f.linksDown--
+		n.Metrics.FaultLinksDown.Add(-1)
+		n.clearPortPause(l.A, pa)
+		n.clearPortPause(l.B, pb)
+	} else {
+		f.downPorts += 2
+		f.linksDown++
+		n.Metrics.FaultLinksDown.Add(1)
+	}
+}
+
+// clearPortPause forgets inbound PFC pause state on one endpoint of a
+// restored link and restarts its transmitter.
+func (n *Network) clearPortPause(id packet.NodeID, port int) {
+	if sw := n.Switches[id]; sw != nil {
+		sw.resumeSelf(port) // no-op when not paused; kicks otherwise
+		sw.kick(port)
+		return
+	}
+	n.HostsByID[id].clearPFC()
+}
+
+// restartSwitch models a switch losing all soft state: every queued
+// frame is dropped, PFC bookkeeping is forgotten, and the flow-control
+// module is reinitialized (via its Restarter hook when it has one, else
+// rebuilt from the factory). Neighbors are then nudged so their
+// per-link state toward the restarted switch resynchronizes. The frame
+// mid-serialization, if any, survives — it is already on the wire.
+func (n *Network) restartSwitch(id packet.NodeID) {
+	s := n.Switches[id]
+	f := n.faults
+	f.restarts++
+	n.Metrics.FaultRestarts.Inc()
+
+	// Forget upstream-pause bookkeeping first, so the buffer releases
+	// below cannot emit PFC resumes from a half-torn-down switch.
+	for i := range s.pausedUpstream {
+		s.pausedUpstream[i] = false
+	}
+	s.pausedUpCount = 0
+
+	// Clear our own paused egresses without kicking (queues drain next).
+	for i, paused := range s.pausedSelf {
+		if paused {
+			s.pausedSelf[i] = false
+			n.Stats.PFCPaused(s.node.Layer, n.Eng.Now().Sub(s.pauseStart[i]))
+			n.Metrics.PFCPortsPaused.Add(-1)
+		}
+	}
+
+	// Drop everything queued; buffer and per-port accounting go with it.
+	for i := range s.out {
+		o := &s.out[i]
+		for !o.ctrl.empty() {
+			p := o.ctrl.pop()
+			if p.Kind == packet.Data { // NDP trimmed header: still charged
+				s.release(p.Size, int(p.InPort))
+				s.notePort(i, -p.Size)
+			}
+			n.dropOnWire(s.node.ID, p)
+		}
+		for q := range o.data {
+			for !o.data[q].empty() {
+				p := o.data[q].pop()
+				s.release(p.Size, int(p.InPort))
+				s.notePort(i, -p.Size)
+				n.dropOnWire(s.node.ID, p)
+			}
+			o.data[q].paused = false
+		}
+		o.rr = 0
+	}
+
+	// Reinitialize flow control (windows, VOQs, credits, PSN channels).
+	if r, ok := s.fc.(Restarter); ok {
+		r.Restart()
+	} else if n.Cfg.FC != nil {
+		s.fc = n.Cfg.FC(s)
+	}
+
+	// Nudge the neighbors: pause state they hold on our behalf is stale.
+	for i := range s.node.Ports {
+		pt := &s.node.Ports[i]
+		if psw := n.Switches[pt.Peer]; psw != nil {
+			psw.onPeerReset(pt.PeerPort)
+		} else {
+			n.HostsByID[pt.Peer].onPeerReset()
+		}
+	}
+}
+
+// onPeerReset drops per-link pause state toward a restarted neighbor:
+// its pause memory is gone, so a pause it sent will never be resumed
+// (clear it), and a pause we sent it is no longer in effect (forget it).
+func (s *Switch) onPeerReset(port int) {
+	s.resumeSelf(port)
+	if s.pausedUpstream[port] {
+		s.pausedUpstream[port] = false
+		s.pausedUpCount--
+	}
+	s.kick(port)
+}
+
+// FaultStats summarizes fault-plane activity for reports and tests.
+type FaultStats struct {
+	LinkEvents int // link up/down transitions applied
+	LinksDown  int // links currently down
+	Restarts   int // switch restarts applied
+	Resyncs    int // flow-control peer-restart resynchronizations
+}
+
+// FaultStats reports the fault counters (zero value without a plan).
+func (n *Network) FaultStats() FaultStats {
+	var fs FaultStats
+	if f := n.faults; f != nil {
+		fs.LinkEvents = f.linkEvents
+		fs.LinksDown = f.linksDown
+		fs.Restarts = f.restarts
+	}
+	for _, sw := range n.Switches {
+		if sw == nil {
+			continue
+		}
+		if sr, ok := sw.fc.(StallReporter); ok {
+			fs.Resyncs += sr.StallReport().Resyncs
+		}
+	}
+	return fs
+}
+
+// StallSnapshot is the structured state a stalled run is diagnosed
+// with: where the bytes are stuck and what is holding them.
+type StallSnapshot struct {
+	DeliveredBytes    units.ByteSize // total payload delivered so far
+	ExhaustedWindows  int            // Floodgate per-dst windows at < 1 MTU
+	WindowDeficit     units.ByteSize // un-credited window bytes across switches
+	ParkedBytes       units.ByteSize // bytes parked in VOQs
+	PausedSwitchPorts int            // switch egresses held by PFC
+	PausedHosts       int            // host NICs held by PFC
+	LinksDown         int
+}
+
+// StallSnapshot captures the network's stall-relevant state.
+func (n *Network) StallSnapshot() StallSnapshot {
+	ss := StallSnapshot{DeliveredBytes: n.delivered}
+	for _, sw := range n.Switches {
+		if sw == nil {
+			continue
+		}
+		for _, paused := range sw.pausedSelf {
+			if paused {
+				ss.PausedSwitchPorts++
+			}
+		}
+		if sr, ok := sw.fc.(StallReporter); ok {
+			si := sr.StallReport()
+			ss.ExhaustedWindows += si.ExhaustedWindows
+			ss.WindowDeficit += si.WindowDeficit
+			ss.ParkedBytes += si.ParkedBytes
+		}
+	}
+	for _, h := range n.Hosts {
+		if h.pfcPaused {
+			ss.PausedHosts++
+		}
+	}
+	if f := n.faults; f != nil {
+		ss.LinksDown = f.linksDown
+	}
+	return ss
+}

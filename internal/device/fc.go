@@ -44,6 +44,30 @@ type FlowControl interface {
 	QueueSignal(p *packet.Packet, outPort int) units.ByteSize
 }
 
+// Restarter is an optional FlowControl extension: a module that can
+// reinitialize its own soft state when its switch restarts (fault
+// plane). Modules without it are rebuilt from the FCFactory instead,
+// which loses any packets they had parked — implement Restarter if the
+// module takes Consumed ownership of packets.
+type Restarter interface {
+	Restart()
+}
+
+// StallReporter is an optional FlowControl extension: a module that can
+// describe the flow-control state relevant to a stalled run (consumed
+// by the watchdog diagnosis and the fault counters).
+type StallReporter interface {
+	StallReport() StallInfo
+}
+
+// StallInfo is one module's contribution to a stall diagnosis.
+type StallInfo struct {
+	ExhaustedWindows int            // per-dst windows below one MTU
+	WindowDeficit    units.ByteSize // un-credited (outstanding) window bytes
+	ParkedBytes      units.ByteSize // bytes parked in VOQs
+	Resyncs          int            // peer-restart resynchronizations seen
+}
+
 // FCFactory builds a module bound to one switch.
 type FCFactory func(sw *Switch) FlowControl
 

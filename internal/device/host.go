@@ -283,6 +283,46 @@ func (h *Host) wakeDst(dst packet.NodeID) {
 	h.kick()
 }
 
+// clearPFC forgets an inbound PFC pause (used by the fault plane when
+// the link that carried — or lost — the resume comes back up).
+func (h *Host) clearPFC() {
+	if !h.pfcPaused {
+		return
+	}
+	h.pfcPaused = false
+	h.net.Stats.PFCPaused(topo.LayerHost, h.net.Eng.Now().Sub(h.pfcStart))
+	h.net.Metrics.PFCPortsPaused.Add(-1)
+	h.kick()
+}
+
+// onPeerReset reacts to the host's ToR restarting: every pause the
+// switch held on the host (PFC, per-dst, per-flow) died with its state,
+// so forget them all and wake the blocked flows.
+func (h *Host) onPeerReset() {
+	h.clearPFC()
+	clear(h.pausedDst)
+	clear(h.pausedFlows)
+	h.wakeAll()
+}
+
+// wakeAll re-enqueues every live sender flow (pause state was reset),
+// compacting finished senders from the scan list on the way.
+func (h *Host) wakeAll() {
+	live := h.senderFlows[:0]
+	for _, f := range h.senderFlows {
+		if f.senderDone {
+			continue
+		}
+		live = append(live, f)
+		h.enqueue(f)
+	}
+	for i := len(live); i < len(h.senderFlows); i++ {
+		h.senderFlows[i] = nil
+	}
+	h.senderFlows = live
+	h.kick()
+}
+
 // finalizePFC closes an open host pause interval at the end of a run.
 func (h *Host) finalizePFC() {
 	if h.pfcPaused {
@@ -304,6 +344,7 @@ func (h *Host) receiveData(p *packet.Packet, now units.Time) {
 	// Go-back-N receiver: in-order delivery only.
 	if p.Seq == f.rcvNxt {
 		f.rcvNxt += p.Payload
+		h.net.delivered += p.Payload
 		h.net.Stats.Received(now, f.Cat, p.Payload)
 		if f.rcvNxt >= f.Size {
 			h.completeFlow(f, now)
@@ -345,6 +386,7 @@ func (h *Host) receiveDataNDP(f *Flow, p *packet.Packet, now units.Time) {
 	if !f.seen[p.Seq] {
 		f.seen[p.Seq] = true
 		f.rcvdBytes += p.Payload
+		h.net.delivered += p.Payload
 		h.net.Stats.Received(now, f.Cat, p.Payload)
 		if f.rcvdBytes >= f.Size {
 			h.completeFlow(f, now)
@@ -612,6 +654,10 @@ func (h *Host) transmit(p *packet.Packet) {
 	h.busy = true
 	ser := units.TxTime(p.Size, h.port.Rate)
 	h.net.Eng.AfterArg(ser, hostTxDoneFn, h)
+	if h.net.faults != nil && h.net.linkDropped(h.node.ID, 0, p.Kind) {
+		h.net.dropOnWire(h.node.ID, p)
+		return
+	}
 	h.net.Eng.AfterArg(ser+h.port.Prop, h.deliverFn, p)
 }
 

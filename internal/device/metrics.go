@@ -33,6 +33,14 @@ type NetMetrics struct {
 	FGVOQsInUse       metrics.Gauge
 	FGParkedBytes     metrics.Gauge // bytes parked across VOQs
 	FGCreditsInFlight metrics.Gauge // credit frames emitted but not yet applied
+
+	// Fault plane and recovery (PR 4; registered last to keep earlier
+	// export orders stable).
+	FaultLinkEvents metrics.Counter // link up/down transitions applied
+	FaultLinksDown  metrics.Gauge   // links currently out of service
+	FaultRestarts   metrics.Counter // switch restarts applied
+	FGResyncs       metrics.Counter // Floodgate peer-restart resyncs
+	WatchdogTrips   metrics.Counter // stall-watchdog firings
 }
 
 // queueDelayBounds buckets per-hop queuing delay from sub-microsecond
@@ -87,5 +95,10 @@ func NewNetMetrics(r *metrics.Registry) NetMetrics {
 	m.FGVOQsInUse = r.Gauge("fg.voqs_in_use", "voqs")
 	m.FGParkedBytes = r.Gauge("fg.parked_bytes", "bytes")
 	m.FGCreditsInFlight = r.Gauge("fg.credits_in_flight", "frames")
+	m.FaultLinkEvents = r.Counter("fault.link_events", "events")
+	m.FaultLinksDown = r.Gauge("fault.links_down", "links")
+	m.FaultRestarts = r.Counter("fault.switch_restarts", "events")
+	m.FGResyncs = r.Counter("fg.resyncs", "events")
+	m.WatchdogTrips = r.Counter("sim.watchdog_trips", "events")
 	return m
 }

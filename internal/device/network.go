@@ -153,6 +153,12 @@ type Network struct {
 	flows   []*Flow // indexed by FlowID (ids are dense, starting at 1)
 	pktPool []*packet.Packet
 
+	// faults is the runtime fault-plane state (nil without a plan); see
+	// faults.go. delivered is the global payload-progress counter the
+	// stall watchdog monitors.
+	faults    *faultState
+	delivered units.ByteSize
+
 	// OnFlowDone, if set, fires when a flow's last byte is delivered.
 	OnFlowDone func(f *Flow, finish units.Time)
 }
@@ -389,3 +395,7 @@ func (n *Network) Finalize() {
 
 // Flows returns all registered flows (test and reporting helper).
 func (n *Network) Flows() []*Flow { return n.flows[1:] }
+
+// DeliveredBytes is the total payload delivered to receivers so far —
+// the monotone progress signal the stall watchdog monitors.
+func (n *Network) DeliveredBytes() units.ByteSize { return n.delivered }

@@ -130,7 +130,7 @@ func (s *Switch) receive(p *packet.Packet, inPort int) {
 		return
 	}
 	// Transit control frame: forward toward its destination.
-	out := s.net.Topo.ECMP(s.node.ID, p.Src, p.Dst)
+	out := s.net.Route(s.node.ID, p.Src, p.Dst)
 	s.sendCtrl(p, out)
 }
 
@@ -159,7 +159,7 @@ func (s *Switch) receiveData(p *packet.Packet, inPort int) {
 		}
 	}
 
-	out := n.Topo.ECMP(s.node.ID, p.Src, p.Dst)
+	out := n.Route(s.node.ID, p.Src, p.Dst)
 
 	// NDP cut-payload: when the egress backlog exceeds the trim
 	// threshold, forward only the header in the priority class.
@@ -441,14 +441,13 @@ func (s *Switch) transmit(p *packet.Packet, i, queue int) {
 	// Loss injection between switches: data and credits at LossRate,
 	// credits additionally at CreditLossRate (Fig 12's isolated stress).
 	if lr := s.lossRateFor(p.Kind); lr > 0 && s.PortFacesSwitch(i) && n.rand.Float64() < lr {
-		n.Stats.Drop()
-		n.Metrics.Drops.Inc()
-		if p.Kind == packet.Credit {
-			// A lost credit can no longer be applied upstream.
-			n.Metrics.FGCreditsInFlight.Add(-1)
-		}
-		n.TraceEvent(trace.OpDrop, s.node.ID, p)
-		n.Recycle(p)
+		n.dropOnWire(s.node.ID, p)
+		return
+	}
+	// Fault plane: dead links swallow everything, burst-lossy links
+	// advance their Gilbert–Elliott chain (see faults.go).
+	if n.faults != nil && n.linkDropped(s.node.ID, i, p.Kind) {
+		n.dropOnWire(s.node.ID, p)
 		return
 	}
 	n.Eng.AfterArg(ser+o.tp.Prop, o.deliverFn, p)

@@ -171,6 +171,19 @@ func obsLabel(rc RunConfig) string {
 		fmt.Sprintf("binw=%d", int64(rc.BinWidth)),
 		fmt.Sprintf("nspecs=%d", len(rc.Specs)),
 	}
+	if rc.Faults != nil {
+		for _, ev := range rc.Faults.SortedEvents() {
+			parts = append(parts, fmt.Sprintf("fault=%d:%d:%d-%d@%d",
+				int(ev.Kind), int64(ev.Link.A), int64(ev.Link.B), int64(ev.Node), int64(ev.At)))
+		}
+		if g := rc.Faults.Burst; g != nil {
+			parts = append(parts, fmt.Sprintf("burst=%g/%g/%g/%g",
+				g.PGoodBad, g.PBadGood, g.LossGood, g.LossBad))
+			for _, l := range rc.Faults.BurstLinks {
+				parts = append(parts, fmt.Sprintf("burstlink=%d-%d", int64(l.A), int64(l.B)))
+			}
+		}
+	}
 	for _, s := range rc.Specs {
 		parts = append(parts, fmt.Sprintf("%d>%d:%d@%d/%d",
 			int64(s.Src), int64(s.Dst), int64(s.Size), int64(s.Start), int(s.Cat)))

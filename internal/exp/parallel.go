@@ -2,7 +2,9 @@ package exp
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the run-level parallel executor. Every experiment's
@@ -104,17 +106,34 @@ func runJobs[T any](o Options, n int, job func(i int) T) []T {
 		return out
 	}
 	simSlots.resize(par)
+	// A panicking job must not crash the process from its worker
+	// goroutine (unrecoverable) nor deadlock the WaitGroup: each worker
+	// recovers, the panic is stored, and after every job settles the
+	// lowest-index panic re-raises on the calling goroutine — the same
+	// panic the serial path would have raised first, independent of
+	// worker scheduling. The experiment boundary (runByID) recovers it.
+	panics := make([]any, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panics[i] = v
+				}
+			}()
 			simSlots.acquire()
 			defer simSlots.release()
 			out[i] = job(i)
 		}(i)
 	}
 	wg.Wait()
+	for i := range panics {
+		if panics[i] != nil {
+			panic(panics[i])
+		}
+	}
 	return out
 }
 
@@ -164,4 +183,28 @@ func RunExperiments(ids []string, o Options, emit func(id string, tables []Table
 	}
 }
 
-func runByID(id string, o Options) ([]Table, error) { return RunByID(id, o) }
+// recoveredPanics counts panics converted into errors at the
+// experiment boundary (observability for tests and operators).
+var recoveredPanics atomic.Int64
+
+// RecoveredPanics reports how many experiment runs panicked and were
+// isolated into errors instead of crashing the process.
+func RecoveredPanics() int64 { return recoveredPanics.Load() }
+
+// runByID is the isolation boundary: a panic anywhere inside one
+// experiment — a faulting Run (already wrapped as *RunError with the
+// run's config hash) or the figure's own assembly code — becomes that
+// experiment's error, and the rest of an `-exp all` sweep proceeds.
+func runByID(id string, o Options) (tables []Table, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			recoveredPanics.Add(1)
+			re, ok := v.(*RunError)
+			if !ok {
+				re = &RunError{ConfigHash: "experiment:" + id, Value: v, Stack: string(debug.Stack())}
+			}
+			tables, err = nil, re
+		}
+	}()
+	return RunByID(id, o)
+}

@@ -46,6 +46,7 @@ var registry = []Experiment{
 	{"degree", "buffer relief vs incast degree (extension)", IncastDegreeSweep},
 	{"resource", "resource overhead accounting (§7.4)", ResourceOverhead},
 	{"swift", "Swift ± Floodgate (extension)", SwiftCompat},
+	{"faultmatrix", "recovery under link/switch faults (extension)", FaultMatrix},
 }
 
 // Lookup returns the experiment with the given id.

@@ -2,8 +2,10 @@ package exp
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"floodgate/internal/device"
+	"floodgate/internal/fault"
 	"floodgate/internal/sim"
 	"floodgate/internal/stats"
 	"floodgate/internal/topo"
@@ -147,6 +149,43 @@ type RunConfig struct {
 	CreditLossRate float64
 	ECN            *device.ECNConfig // override scheme default
 	BinWidth       units.Duration
+
+	// Faults injects deterministic link/switch failures (see
+	// internal/fault). Nil runs a healthy fabric.
+	Faults *fault.Plan
+	// StallHorizon arms the progress watchdog: no payload delivered for
+	// this long stops the run with a StallDiagnosis instead of burning
+	// the time bound. Zero picks a default (4×RTO) when Faults is set
+	// and leaves the watchdog off otherwise.
+	StallHorizon units.Duration
+}
+
+// Validate rejects configurations that would misrun silently.
+func (rc RunConfig) Validate() error {
+	if rc.Topo == nil {
+		return fmt.Errorf("exp: RunConfig.Topo is nil")
+	}
+	if rc.Duration <= 0 {
+		return fmt.Errorf("exp: RunConfig.Duration must be positive, got %v", rc.Duration)
+	}
+	if rc.Drain < 0 {
+		return fmt.Errorf("exp: RunConfig.Drain must be non-negative, got %v", rc.Drain)
+	}
+	if rc.LossRate < 0 || rc.LossRate > 1 {
+		return fmt.Errorf("exp: RunConfig.LossRate %g outside [0, 1]", rc.LossRate)
+	}
+	if rc.CreditLossRate < 0 || rc.CreditLossRate > 1 {
+		return fmt.Errorf("exp: RunConfig.CreditLossRate %g outside [0, 1]", rc.CreditLossRate)
+	}
+	if rc.StallHorizon < 0 {
+		return fmt.Errorf("exp: RunConfig.StallHorizon must be non-negative, got %v", rc.StallHorizon)
+	}
+	if rc.Faults != nil {
+		if err := rc.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunResult carries the collector plus run metadata.
@@ -157,12 +196,31 @@ type RunResult struct {
 	Duration  units.Duration // workload window
 	Completed int
 	Total     int
+
+	// Stalled reports the progress watchdog tripped; Diagnosis then
+	// explains where the undelivered bytes were stuck.
+	Stalled   bool
+	Diagnosis *StallDiagnosis
 }
 
 // Run executes one configured simulation: install the workload, run
 // the workload window plus drain time (stopping early once every flow
-// completes), close open statistics, and report.
+// completes), close open statistics, and report. Invalid configs and
+// internal failures panic with a *RunError naming the run's content
+// hash; the parallel executor recovers it at the run boundary so one
+// faulting run cannot kill a sweep.
 func Run(rc RunConfig) *RunResult {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := v.(*RunError); ok {
+				panic(v)
+			}
+			panic(&RunError{ConfigHash: obsLabel(rc), Value: v, Stack: string(debug.Stack())})
+		}
+	}()
+	if err := rc.Validate(); err != nil {
+		panic(err)
+	}
 	eng := sim.NewEngine()
 	binW := rc.BinWidth
 	if binW == 0 {
@@ -206,6 +264,7 @@ func Run(rc RunConfig) *RunResult {
 		obs = newObsRun(rc, opt, eng, &cfg)
 	}
 	net := device.New(cfg)
+	net.InstallFaults(rc.Faults, rc.Seed)
 	if obs != nil {
 		obs.start()
 	}
@@ -253,7 +312,45 @@ func Run(rc RunConfig) *RunResult {
 		// moment every flow completes, so idle drain costs nothing).
 		drain = 4*rc.Duration + 400*units.Millisecond
 	}
+
+	// Progress watchdog: faulted runs can wedge in ways loss-free runs
+	// cannot (dead links, restarted peers), so they get one by default.
+	horizon := rc.StallHorizon
+	if horizon == 0 && rc.Faults != nil {
+		horizon = 4 * cfg.RTO
+	}
+	var stalled bool
+	var diagnosis *StallDiagnosis
+	var wd *sim.Watchdog
+	if horizon > 0 {
+		wd = sim.NewWatchdog(eng, horizon,
+			func() int64 { return int64(net.DeliveredBytes()) },
+			func() {
+				ss := net.StallSnapshot()
+				stalled = true
+				diagnosis = &StallDiagnosis{
+					At:                eng.Now(),
+					Horizon:           horizon,
+					DeliveredBytes:    ss.DeliveredBytes,
+					IncompleteFlows:   remaining,
+					ExhaustedWindows:  ss.ExhaustedWindows,
+					WindowDeficit:     ss.WindowDeficit,
+					ParkedBytes:       ss.ParkedBytes,
+					PausedSwitchPorts: ss.PausedSwitchPorts,
+					PausedHosts:       ss.PausedHosts,
+					LinksDown:         ss.LinksDown,
+				}
+				net.Metrics.WatchdogTrips.Inc()
+				eng.Stop()
+			})
+	}
+
 	net.Run(units.Time(rc.Duration + drain))
+	if wd != nil {
+		// Disarm so a pending tick cannot trip during post-run settling
+		// (tests RunAll the engine after Run to flush in-flight credits).
+		wd.Stop()
+	}
 	net.Finalize()
 	if obs != nil {
 		if err := obs.export(); err != nil {
@@ -267,6 +364,8 @@ func Run(rc RunConfig) *RunResult {
 		Duration:  rc.Duration,
 		Completed: total - remaining,
 		Total:     total,
+		Stalled:   stalled,
+		Diagnosis: diagnosis,
 	}
 }
 

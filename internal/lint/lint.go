@@ -40,6 +40,10 @@ type Config struct {
 	Pool []string
 	// Units scopes the units-mixing rule; UnitsPath is always exempt.
 	Units []string
+	// RecoverAllowed lists the packages permitted to call recover():
+	// panic isolation belongs at the experiment executor's run boundary
+	// and nowhere else.
+	RecoverAllowed []string
 
 	// Canonical packages the rules key their type checks on.
 	UnitsPath  string // units.Time/ByteSize/BitRate live here
@@ -60,11 +64,12 @@ func DefaultConfig(module string) *Config {
 			module + "/internal/bfc",
 			module + "/internal/pfctag",
 		},
-		Units:      []string{"..."},
-		UnitsPath:  module + "/internal/units",
-		SimPath:    module + "/internal/sim",
-		PacketPath: module + "/internal/packet",
-		DevicePath: module + "/internal/device",
+		Units:          []string{"..."},
+		RecoverAllowed: []string{module + "/internal/exp"},
+		UnitsPath:      module + "/internal/units",
+		SimPath:        module + "/internal/sim",
+		PacketPath:     module + "/internal/packet",
+		DevicePath:     module + "/internal/device",
 	}
 }
 
@@ -127,6 +132,8 @@ func Rules() []Rule {
 			func(c *Config, p *Package) bool {
 				return p.Path != c.UnitsPath && inScope(c.Units, p.Path)
 			}, checkUnitsMix},
+		{"recover", "no bare recover() outside the experiment executor's run boundary",
+			func(c *Config, p *Package) bool { return !inScope(c.RecoverAllowed, p.Path) }, checkRecover},
 	}
 }
 

@@ -1,0 +1,24 @@
+// Package recoverbare exercises the recover rule: panic isolation
+// belongs at the experiment executor's run boundary, not scattered
+// through library code where it hides simulator bugs.
+package recoverbare
+
+// Swallow recovers in library code — the violation.
+func Swallow(f func()) (failed bool) {
+	defer func() {
+		if recover() != nil {
+			failed = true
+		}
+	}()
+	f()
+	return false
+}
+
+// Boundary demonstrates suppression for an audited isolation point.
+func Boundary(f func()) (v any) {
+	defer func() {
+		v = recover() //lint:allow recover fixture demonstrates suppression
+	}()
+	f()
+	return nil
+}

@@ -143,6 +143,12 @@ type Packet struct {
 	// (§4.3 loss recovery). Zero on host-originated hops.
 	PSN units.ByteSize
 
+	// FGEpoch is the forwarding switch's Floodgate boot epoch, stamped
+	// alongside PSN. A mid-channel epoch change tells the downstream
+	// switch its upstream restarted and the PSN sequence rebased, so it
+	// must resynchronize instead of crediting a phantom gap.
+	FGEpoch uint32
+
 	// ViaVOQ marks a packet that was parked in a Floodgate VOQ at the
 	// current switch (drives the §8 queue-length signal override).
 	// Reset at every hop.

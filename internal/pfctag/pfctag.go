@@ -153,9 +153,9 @@ func (m *module) OnCtrl(p *packet.Packet, inPort int) bool {
 // drain releases every parked packet for the destination (reactive:
 // no window gating) and resumes our own upstreams.
 func (m *module) drain(st *dstState, dst packet.NodeID) {
-	topol := m.sw.Net().Topo
+	net := m.sw.Net()
 	for _, p := range st.q {
-		out := topol.ECMP(m.sw.Node().ID, p.Src, p.Dst)
+		out := net.Route(m.sw.Node().ID, p.Src, p.Dst)
 		st.bytes -= p.Size
 		m.sw.InjectEgress(p, out, 0)
 	}

@@ -1,0 +1,66 @@
+package sim
+
+import "floodgate/internal/units"
+
+// Watchdog detects stalled simulations: if a monotone progress counter
+// (e.g. delivered payload bytes) does not move for a full sim-time
+// horizon, onStall fires once. Detection is tick-based, so a genuine
+// stall is reported between one and two horizons after progress last
+// advanced — precise enough for a diagnosis trigger and cheap enough
+// (one event per horizon) to never perturb the run.
+//
+// The watchdog is deterministic: its ticks are ordinary engine events
+// and its state depends only on the progress sequence, so arming it
+// never changes a run's packet-level behaviour.
+type Watchdog struct {
+	eng      *Engine
+	horizon  units.Duration
+	progress func() int64
+	onStall  func()
+
+	last    int64
+	handle  Handle
+	stopped bool
+	tripped bool
+}
+
+// NewWatchdog arms a watchdog on the engine. progress must be monotone
+// non-decreasing; onStall runs inside the tick event (it may call
+// Engine.Stop to terminate the run with a diagnosis).
+func NewWatchdog(eng *Engine, horizon units.Duration, progress func() int64, onStall func()) *Watchdog {
+	if horizon <= 0 {
+		panic("sim: watchdog horizon must be positive")
+	}
+	w := &Watchdog{eng: eng, horizon: horizon, progress: progress, onStall: onStall}
+	w.last = progress()
+	w.handle = eng.AfterArg(horizon, watchdogTickFn, w)
+	return w
+}
+
+// watchdogTickFn is the capture-free tick callback.
+func watchdogTickFn(a any) { a.(*Watchdog).tick() }
+
+func (w *Watchdog) tick() {
+	if w.stopped || w.tripped {
+		return
+	}
+	if cur := w.progress(); cur != w.last {
+		w.last = cur
+		w.handle = w.eng.AfterArg(w.horizon, watchdogTickFn, w)
+		return
+	}
+	w.tripped = true
+	if w.onStall != nil {
+		w.onStall()
+	}
+}
+
+// Stop disarms the watchdog (call when the run completes normally, so
+// a pending tick draining after Engine.Stop cannot trip it).
+func (w *Watchdog) Stop() {
+	w.stopped = true
+	w.eng.Cancel(w.handle)
+}
+
+// Tripped reports whether the watchdog fired.
+func (w *Watchdog) Tripped() bool { return w.tripped }

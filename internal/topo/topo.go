@@ -142,6 +142,11 @@ func (t *Topology) ECMP(n, src, dst packet.NodeID) int {
 	return ports[h%uint64(len(ports))]
 }
 
+// PairHash exposes the ECMP pair hash so the device layer can
+// replicate route selection over a reduced (live) port subset when
+// fault injection takes links out of service.
+func PairHash(a, b uint64) uint64 { return pairHash(a, b) }
+
 func pairHash(a, b uint64) uint64 {
 	x := a*0x9e3779b97f4a7c15 ^ b*0xc2b2ae3d27d4eb4f
 	x ^= x >> 29
