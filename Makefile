@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json obs-smoke fault-smoke ci
+.PHONY: build test race vet lint bench bench-json bench-smoke profile obs-smoke fault-smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,32 @@ bench:
 	$(GO) test -bench=BenchmarkEngineCore -benchmem ./internal/sim
 	$(GO) test -bench=. -benchmem .
 
-# Machine-readable engine + metrics benchmark snapshot for regression
-# tracking; format documented in EXPERIMENTS.md.
+# Machine-readable benchmark snapshot for regression tracking: engine
+# and metrics micro benchmarks plus the BenchmarkRun* macro benchmarks
+# (whole simulations); format documented in EXPERIMENTS.md. benchjson
+# exits non-zero if a hot-path benchmark allocates.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem \
-		./internal/sim ./internal/metrics | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem \
+		./internal/sim ./internal/metrics; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRun' -benchmem -benchtime 10x \
+		./internal/exp; } | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+
+# One-iteration macro benchmarks: catches bit-rot in the benchmark
+# harness (and hot-path allocation regressions via benchjson's gate)
+# without the minutes-long stable-measurement runs.
+bench-smoke:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem -benchtime 100x \
+		./internal/sim ./internal/metrics; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRun' -benchmem -benchtime 1x \
+		./internal/exp; } | $(GO) run ./cmd/benchjson > /dev/null
+
+# CPU + heap profile of the macro incast benchmark; inspect with
+# `go tool pprof cpu.out`. floodsim -cpuprofile/-memprofile profile a
+# full experiment instead.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunIncast' -benchtime 50x \
+		-cpuprofile cpu.out -memprofile mem.out ./internal/exp
+	@echo "profiles written: cpu.out mem.out (go tool pprof <file>)"
 
 # Observability smoke: one real experiment with -obs enabled; asserts
 # the NDJSON/manifest parse and the manifest's table hash matches the
@@ -52,4 +73,4 @@ fault-smoke:
 		-run 'TestFloodgateRecovers|TestFloodgateResyncs|TestWatchdog|TestFaultedRunsBitIdentical|TestRunConfigValidation|TestRunJobsIsolates' \
 		./internal/sim ./internal/exp
 
-ci: build lint test race obs-smoke fault-smoke
+ci: build lint test race obs-smoke fault-smoke bench-smoke

@@ -5,7 +5,15 @@
 //
 // Benchmarks are keyed by name with the -cpu/GOMAXPROCS suffix
 // stripped and emitted in sorted order, so the file is diffable across
-// runs. See EXPERIMENTS.md for the format.
+// runs. The document carries a small manifest (format version, Go
+// toolchain, benchmark count) so a regression diff can tell a real
+// change from a toolchain bump. See EXPERIMENTS.md for the format.
+//
+// Hot-path benchmarks (BenchmarkEngineCore*, BenchmarkMetricsHotPath)
+// are required to be allocation-free: any such result with
+// allocs_per_op > 0 fails the run with a non-zero exit after the
+// document is written, so CI catches an allocation regression even
+// though the numbers still land on disk for inspection.
 package main
 
 import (
@@ -15,8 +23,10 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 type benchResult struct {
@@ -29,13 +39,40 @@ type benchResult struct {
 
 type doc struct {
 	Format     int           `json:"format"`
+	GoVersion  string        `json:"go_version"`
+	Count      int           `json:"count"`
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
-// benchLine matches one result row, e.g.
-//
-//	BenchmarkMetricsHotPath-8   121170255   9.871 ns/op   0 B/op   0 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchName matches the row prefix, e.g. "BenchmarkMetricsHotPath-8 121170255 9.8 ns/op".
+// Units beyond ns/op (B/op, allocs/op, custom metrics such as events/s)
+// are picked out of the remaining fields by their unit token, so macro
+// benchmarks reporting extra metrics parse the same as micro ones.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// zeroAllocRequired names the hot-path benchmarks that must not
+// allocate per op.
+var zeroAllocRequired = regexp.MustCompile(`^(BenchmarkEngineCore|BenchmarkMetricsHotPath)`)
+
+func parseLine(line string) (benchResult, bool) {
+	m := benchName.FindStringSubmatch(line)
+	if m == nil {
+		return benchResult{}, false
+	}
+	iters, _ := strconv.ParseInt(m[2], 10, 64)
+	ns, _ := strconv.ParseFloat(m[3], 64)
+	r := benchResult{Name: m[1], Iterations: iters, NsPerOp: ns}
+	fields := strings.Fields(line)
+	for i := 1; i < len(fields); i++ {
+		switch fields[i] {
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(fields[i-1], 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(fields[i-1], 10, 64)
+		}
+	}
+	return r, true
+}
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
@@ -45,23 +82,9 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		var bpo, apo int64
-		if m[4] != "" {
-			bpo, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			apo, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		results = append(results, benchResult{
-			Name: m[1], Iterations: iters, NsPerOp: ns,
-			BytesPerOp: bpo, AllocsPerOp: apo,
-		})
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -73,7 +96,12 @@ func main() {
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 
-	data, err := json.MarshalIndent(doc{Format: 1, Benchmarks: results}, "", "  ")
+	data, err := json.MarshalIndent(doc{
+		Format:     2,
+		GoVersion:  runtime.Version(),
+		Count:      len(results),
+		Benchmarks: results,
+	}, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -81,10 +109,20 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, r := range results {
+		if zeroAllocRequired.MatchString(r.Name) && r.AllocsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s allocates %d allocs/op; hot-path benchmarks must be allocation-free\n",
+				r.Name, r.AllocsPerOp)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

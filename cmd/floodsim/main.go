@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"floodgate"
@@ -38,16 +40,53 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale  = flag.Float64("scale", 0.25, "fabric scale in (0,1]; 1 = paper scale")
-		seed   = flag.Uint64("seed", 1, "workload/simulation seed")
-		par    = flag.Int("par", 0, "max concurrent simulations; 0 = all cores, 1 = serial")
-		list   = flag.Bool("list", false, "list available experiments")
-		obsDir = flag.String("obs", "", "write per-run metrics/timeline files under this directory")
-		sample = flag.Duration("sample", 0, "metrics sampling period on the simulation clock (e.g. 10us); 0 = default")
-		faults = flag.String("faults", "", "run one fault-injection scenario, or 'list'")
+		expID      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale      = flag.Float64("scale", 0.25, "fabric scale in (0,1]; 1 = paper scale")
+		seed       = flag.Uint64("seed", 1, "workload/simulation seed")
+		par        = flag.Int("par", 0, "max concurrent simulations; 0 = all cores, 1 = serial")
+		list       = flag.Bool("list", false, "list available experiments")
+		obsDir     = flag.String("obs", "", "write per-run metrics/timeline files under this directory")
+		sample     = flag.Duration("sample", 0, "metrics sampling period on the simulation clock (e.g. 10us); 0 = default")
+		faults     = flag.String("faults", "", "run one fault-injection scenario, or 'list'")
+		sched      = flag.String("sched", "wheel", "event scheduler: wheel (default) or heap; output is identical")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	switch *sched {
+	case "wheel", "heap":
+	default:
+		fmt.Fprintf(os.Stderr, "floodsim: unknown -sched %q (want wheel or heap)\n", *sched)
+		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "floodsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "floodsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "floodsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "floodsim:", err)
+			}
+		}()
+	}
 
 	if *faults == "list" {
 		fmt.Println("fault scenarios (floodsim -faults <name>):")
@@ -56,8 +95,13 @@ func main() {
 		}
 		return
 	}
+	schedOpt := floodgate.SchedWheel
+	if *sched == "heap" {
+		schedOpt = floodgate.SchedHeap
+	}
+
 	if *faults != "" {
-		o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par}
+		o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt}
 		start := time.Now() //lint:allow walltime progress reporting times the real run, not the simulation
 		tables, err := floodgate.RunFaultScenario(*faults, o)
 		if err != nil {
@@ -84,7 +128,7 @@ func main() {
 		return
 	}
 
-	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par}
+	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt}
 	if *obsDir != "" {
 		o.Obs = floodgate.ObsConfig{Dir: *obsDir, Period: floodgate.FromNanos(sample.Nanoseconds())}
 	}

@@ -25,7 +25,9 @@ type Module struct {
 	wins map[packet.NodeID]*dstWin
 
 	// Downstream role: credit generation per (ingress port, dst).
-	down      map[chanKey]*downChan
+	// Rows are minted lazily (host-facing ports never credit) and sized
+	// by node count so the per-packet lookup is two array indexes.
+	down      [][]*downChan     // per ingress port, indexed by dst NodeID
 	pending   [][]packet.NodeID // per ingress port: dsts with pending credits (insertion order)
 	timerArm  []bool            // per ingress port: credit timer scheduled
 	tickArgs  []tickArg         // per ingress port: pre-built AfterArg payloads
@@ -61,13 +63,6 @@ type Module struct {
 	mParkedBytes     metrics.Gauge
 	mCreditsInFlight metrics.Gauge
 	mResyncs         metrics.Counter
-}
-
-// chanKey addresses one upstream channel: the ingress port the data
-// arrived on and the destination host.
-type chanKey struct {
-	port int
-	dst  packet.NodeID
 }
 
 // tickArg is the pre-built payload for the per-ingress-port credit
@@ -106,9 +101,13 @@ type dstWin struct {
 	// outstanding per egress port: sent cumulative and last credited
 	// cumulative from the downstream switch.
 	ports map[int]*upPort
-	// switchSYN management.
-	lastCredit units.Time
-	synTimer   sim.Handle
+	// switchSYN management. The deadline is lazy: every credit would
+	// otherwise cancel and re-arm the engine timer (pure scheduler
+	// churn, one dead entry per credit), so credits just zero the
+	// deadline and the pending timer re-derives or dies when it fires.
+	lastCredit  units.Time
+	synTimer    sim.Handle
+	synDeadline units.Time // 0 = disarmed
 }
 
 type upPort struct {
@@ -145,7 +144,7 @@ func newModule(cfg Config, sw *device.Switch) *Module {
 		cfg:         cfg,
 		sw:          sw,
 		wins:        make(map[packet.NodeID]*dstWin),
-		down:        make(map[chanKey]*downChan),
+		down:        make([][]*downChan, len(node.Ports)),
 		pending:     make([][]packet.NodeID, len(node.Ports)),
 		timerArm:    make([]bool, len(node.Ports)),
 		tickArgs:    make([]tickArg, len(node.Ports)),
@@ -174,9 +173,13 @@ func newModule(cfg Config, sw *device.Switch) *Module {
 	if n <= 0 {
 		n = 1
 	}
+	// One backing array for all VOQ structs; the perDst maps are minted
+	// lazily on first park (most VOQs on most switches stay idle).
+	vs := make([]voq, n)
 	m.voqs = make([]*voq, n)
 	for i := range m.voqs {
-		m.voqs[i] = &voq{idx: i, perDst: make(map[packet.NodeID]units.ByteSize)}
+		vs[i].idx = i
+		m.voqs[i] = &vs[i]
 	}
 	if m.grouped {
 		for i := 0; i < n/2; i++ {
@@ -371,6 +374,9 @@ func (m *Module) park(v *voq, p *packet.Packet, outPort int) {
 	p.EnqueuedAt = m.now()
 	v.q = append(v.q, parked{p: p, out: int32(outPort)})
 	v.bytes += p.Size
+	if v.perDst == nil {
+		v.perDst = make(map[packet.NodeID]units.ByteSize)
+	}
 	v.perDst[p.Dst] += p.Size
 	m.mParkedBytes.Add(int64(p.Size))
 	m.sw.NotePortBytes(outPort, p.Size)
@@ -458,11 +464,15 @@ func (m *Module) OnDequeue(p *packet.Packet, outPort, queue int) {
 }
 
 func (m *Module) chanFor(in int, dst packet.NodeID) *downChan {
-	k := chanKey{in, dst}
-	ch, ok := m.down[k]
-	if !ok {
+	row := m.down[in]
+	if row == nil {
+		row = make([]*downChan, len(m.sw.Net().Switches))
+		m.down[in] = row
+	}
+	ch := row[dst]
+	if ch == nil {
 		ch = &downChan{}
-		m.down[k] = ch
+		row[dst] = ch
 	}
 	return ch
 }
@@ -484,9 +494,16 @@ func (m *Module) creditTick(in int) {
 	if len(dsts) == 0 {
 		return
 	}
-	var retained []packet.NodeID
+	// In-place filter reusing the backing array: the write index never
+	// passes the read index, and keeping the capacity means steady-state
+	// ticks allocate nothing.
+	retained := dsts[:0]
+	row := m.down[in]
 	for _, d := range dsts {
-		ch := m.down[chanKey{in, d}]
+		var ch *downChan
+		if row != nil {
+			ch = row[d]
+		}
 		if ch == nil || ch.pending == 0 {
 			continue
 		}
@@ -508,7 +525,9 @@ func (m *Module) creditTick(in int) {
 func (m *Module) emitCredit(in int, dst packet.NodeID, ch *downChan) {
 	n := m.sw.Net()
 	cr := n.NewCtrl(packet.Credit, 0, m.sw.Node().ID, m.sw.Node().Ports[in].Peer)
-	cr.Credits = []packet.CreditEntry{{Dst: dst, Bytes: ch.pending, Cum: ch.cumFwd}}
+	// Append into the pooled packet's retained Credits backing
+	// (ResetKeepBuffers preserves it) instead of minting a slice.
+	cr.Credits = append(cr.Credits[:0], packet.CreditEntry{Dst: dst, Bytes: ch.pending, Cum: ch.cumFwd})
 	ch.pending = 0
 	m.mCreditsInFlight.Add(1)
 	n.TraceEvent(trace.OpCredit, m.sw.Node().ID, cr)
@@ -572,26 +591,41 @@ func (m *Module) applyCredit(port int, e packet.CreditEntry) {
 	w.avail = w.init - outstanding
 	m.mWindowBytes.Add(int64(availOld) - int64(w.avail))
 	w.lastCredit = m.now()
-	m.sw.Net().Eng.Cancel(w.synTimer)
+	w.synDeadline = 0 // lazy disarm: the pending timer finds it and dies
 	if v, ok := m.voqOf[e.Dst]; ok {
 		m.drain(v)
 	}
 }
 
-// armSYN starts the loss-recovery timeout for an exhausted window.
+// armSYN starts the loss-recovery timeout for an exhausted window. The
+// deadline moves; the engine timer is only scheduled when none is
+// pending — a stale one (armed before the last lazy disarm) always
+// fires at or before the new deadline and re-arms itself there.
 func (m *Module) armSYN(w *dstWin) {
-	if w.synTimer.Active() {
+	if w.synDeadline != 0 {
 		return
 	}
-	eng := m.sw.Net().Eng
-	w.synTimer = eng.AfterArg(m.cfg.SYNTimeout, fireSYNFn, w)
+	w.synDeadline = m.now().Add(m.cfg.SYNTimeout)
+	if !w.synTimer.Active() {
+		w.synTimer = m.sw.Net().Eng.AfterArg(m.cfg.SYNTimeout, fireSYNFn, w)
+	}
 }
 
 func (m *Module) fireSYN(w *dstWin) {
+	if w.synDeadline == 0 {
+		return // disarmed since scheduling: a credit arrived
+	}
+	now := m.now()
+	if now < w.synDeadline {
+		// The timer predates the latest arm; sleep on to the true
+		// deadline.
+		w.synTimer = m.sw.Net().Eng.AtArg(w.synDeadline, fireSYNFn, w)
+		return
+	}
+	w.synDeadline = 0 // due: consumed, re-set only by armSYNAgain
 	if w.avail >= w.init {
 		return // fully credited: nothing to recover, let the timer die
 	}
-	now := m.now()
 	// Escape hatch: after EscapeTimeout without any credit, probe every
 	// channel with sent bytes — even ones the stale-duplicate filter or
 	// a restart clamp left looking synced — so a restarted downstream
@@ -626,8 +660,8 @@ func (m *Module) fireSYN(w *dstWin) {
 }
 
 func (m *Module) armSYNAgain(w *dstWin) {
-	eng := m.sw.Net().Eng
-	w.synTimer = eng.AfterArg(m.cfg.SYNTimeout, fireSYNFn, w)
+	w.synDeadline = m.now().Add(m.cfg.SYNTimeout)
+	w.synTimer = m.sw.Net().Eng.AfterArg(m.cfg.SYNTimeout, fireSYNFn, w)
 }
 
 // checkPSNGap detects data lost on the upstream wire: the missing

@@ -111,8 +111,8 @@ type Host struct {
 	pullQ    []packet.FlowID
 	pullBusy bool
 
-	// Pre-built capture-free NIC callbacks (see outPort in switch.go).
-	deliverFn func(any)
+	// The in-flight chain toward the ToR (see wire.go).
+	wire wire
 }
 
 // hostTxDoneFn completes the NIC serialization.
@@ -152,8 +152,7 @@ func newHost(n *Network, node *topo.Node) *Host {
 		pausedDst:   make(map[packet.NodeID]bool),
 		pausedFlows: make(map[packet.FlowID]bool),
 	}
-	peer, peerPort := h.port.Peer, h.port.PeerPort
-	h.deliverFn = func(a any) { n.deliver(peer, a.(*packet.Packet), peerPort) }
+	h.wire.init(n, h.port.Peer, h.port.PeerPort)
 	return h
 }
 
@@ -658,7 +657,7 @@ func (h *Host) transmit(p *packet.Packet) {
 		h.net.dropOnWire(h.node.ID, p)
 		return
 	}
-	h.net.Eng.AfterArg(ser+h.port.Prop, h.deliverFn, p)
+	h.wire.push(h.net.Eng.Now().Add(ser+h.port.Prop), p)
 }
 
 // DebugString reports a flow's transfer state (diagnostics).

@@ -354,6 +354,10 @@ func (n *Network) NewCtrl(kind packet.Kind, flow packet.FlowID, src, dst packet.
 	return p
 }
 
+// pktChunk is the pool refill batch: one backing array serves this
+// many pool misses.
+const pktChunk = 64
+
 func (n *Network) getPkt() *packet.Packet {
 	if m := len(n.pktPool); m > 0 {
 		p := n.pktPool[m-1]
@@ -363,8 +367,13 @@ func (n *Network) getPkt() *packet.Packet {
 		p.PoolAcquired()
 		return p
 	}
-	//lint:allow pool the pool's own refill point mints the fresh packets
-	return &packet.Packet{}
+	// Refill in chunks: one backing allocation mints pktChunk packets,
+	// cutting both alloc count and GC scan pressure at ramp-up.
+	chunk := make([]packet.Packet, pktChunk)
+	for i := pktChunk - 1; i > 0; i-- {
+		n.pktPool = append(n.pktPool, &chunk[i])
+	}
+	return &chunk[0]
 }
 
 // Recycle returns a fully consumed packet to the pool. Callers must

@@ -21,11 +21,11 @@ type outPort struct {
 	busy    bool
 	txBytes units.ByteSize // cumulative, for INT telemetry
 
-	// Pre-built capture-free callbacks plus the single outstanding
+	// The in-flight chain toward the peer plus the single outstanding
 	// transmission's release state (one packet serialises at a time, so
 	// scalar fields suffice — no per-packet closure allocation).
 	sw          *Switch
-	deliverFn   func(any) // arg: *packet.Packet
+	wire        wire
 	pendSize    units.ByteSize
 	pendInPort  int
 	pendCharged bool
@@ -86,8 +86,7 @@ func newSwitch(n *Network, node *topo.Node) *Switch {
 		o.tp = &node.Ports[i]
 		o.data = make([]fifo, n.Cfg.QueuesPerPort)
 		o.sw = sw
-		peer, peerPort := o.tp.Peer, o.tp.PeerPort
-		o.deliverFn = func(a any) { n.deliver(peer, a.(*packet.Packet), peerPort) }
+		o.wire.init(n, o.tp.Peer, o.tp.PeerPort)
 	}
 	return sw
 }
@@ -450,7 +449,7 @@ func (s *Switch) transmit(p *packet.Packet, i, queue int) {
 		n.dropOnWire(s.node.ID, p)
 		return
 	}
-	n.Eng.AfterArg(ser+o.tp.Prop, o.deliverFn, p)
+	o.wire.push(now.Add(ser+o.tp.Prop), p)
 }
 
 func (s *Switch) lossRateFor(k packet.Kind) float64 {

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"testing"
+
+	"floodgate/internal/units"
+	"floodgate/internal/workload"
+)
+
+// Macro benchmarks: whole simulations measured end to end, the numbers
+// the engine microbenchmarks exist to improve. Each iteration executes
+// one complete run (topology build, workload, event loop, drain) and
+// reports, beside ns/op, two throughput metrics:
+//
+//   - events/s       — engine events executed per wall-clock second
+//   - simsec/wallsec — simulated seconds advanced per wall-clock second
+//
+// The second is the paper-reproduction figure of merit: how much
+// simulated time a second of hardware buys. Tracked across PRs in
+// BENCH_PR*.json (see EXPERIMENTS.md).
+
+// BenchmarkRunIncast is the incast macro workload: every cross-rack
+// host sends one 30-40 MTU flow to a single victim at t=0 through
+// DCQCN+Floodgate — the paper's core stress, and the backlog regime
+// (hundreds of concurrent flows, tens of thousands of queued events)
+// where scheduler cost dominates.
+func BenchmarkRunIncast(b *testing.B) {
+	o := Options{Scale: 0.25, Seed: 1}.norm()
+	b.ReportAllocs()
+	var simSec, events float64
+	for i := 0; i < b.N; i++ {
+		tp := o.leafSpine()
+		specs := pureIncastSpecs(tp, o.Seed)
+		res := Run(RunConfig{
+			Topo: tp, Scheme: WithFloodgate(o, DCQCN(o), baseBDPOf(tp)),
+			Specs: specs, Duration: 2 * units.Millisecond,
+			Seed: o.Seed, Opt: o,
+		})
+		if res.Completed != res.Total {
+			b.Fatalf("flows incomplete: %d/%d", res.Completed, res.Total)
+		}
+		simSec += res.Net.Eng.Now().Seconds()
+		events += float64(res.Net.Eng.Processed)
+	}
+	wall := b.Elapsed().Seconds()
+	b.ReportMetric(simSec/wall, "simsec/wallsec")
+	b.ReportMetric(events/wall, "events/s")
+}
+
+// BenchmarkRunFig2Row executes one row of the Fig 2 table (WebServer
+// incast-mix in the PFC-storm regime under plain DCQCN) — the mixed
+// workload whose Poisson background keeps the event queue deep and
+// irregular, complementing BenchmarkRunIncast's synchronized burst.
+func BenchmarkRunFig2Row(b *testing.B) {
+	prev := windowOverride
+	windowOverride = fullIncastMixDuration / 8
+	defer func() { windowOverride = prev }()
+	o := Options{Scale: 0.25, Seed: 1}.norm()
+	b.ReportAllocs()
+	var simSec, events float64
+	for i := 0; i < b.N; i++ {
+		res := runIncastMixStress(o, workload.WebServer, DCQCN(o))
+		if res.Completed == 0 {
+			b.Fatal("no flows completed")
+		}
+		simSec += res.Net.Eng.Now().Seconds()
+		events += float64(res.Net.Eng.Processed)
+	}
+	wall := b.Elapsed().Seconds()
+	b.ReportMetric(simSec/wall, "simsec/wallsec")
+	b.ReportMetric(events/wall, "events/s")
+}

@@ -33,6 +33,11 @@ type Options struct {
 	// Obs switches on per-run metrics sampling and timeline export
 	// (see obs.go). Enabling it never changes table output.
 	Obs ObsConfig
+	// Scheduler selects the engine's event-queue implementation. The
+	// zero value is the timing wheel; SchedHeap restores the single
+	// global heap. Both execute events in the identical order, so every
+	// table is bit-identical across the choice (see sched_test.go).
+	Scheduler sim.Scheduler
 }
 
 // DefaultOptions returns a laptop-friendly scale.
@@ -221,7 +226,7 @@ func Run(rc RunConfig) *RunResult {
 	if err := rc.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngine()
+	eng := sim.NewEngineWith(rc.Opt.Scheduler)
 	binW := rc.BinWidth
 	if binW == 0 {
 		binW = 10 * units.Microsecond

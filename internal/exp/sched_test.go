@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"testing"
+
+	"floodgate/internal/sim"
+)
+
+// TestCrossSchedulerDeterminism is the timing wheel's acceptance gate:
+// the wheel and the plain heap must execute events in the identical
+// order, so every rendered table is byte-identical across the scheduler
+// choice — and stays so under the parallel executor. Fig2 exercises the
+// motivating incast sweep and Fig6 the full mixed workload comparison.
+func TestCrossSchedulerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	windowOverride = fullIncastMixDuration / 8
+	defer func() { windowOverride = 0 }()
+
+	for _, fig := range []struct {
+		name string
+		run  func(Options) []Table
+	}{
+		{"fig2", Fig2},
+		{"fig6", Fig6},
+	} {
+		base := Options{Scale: 0.1, Seed: 1, Parallelism: 1}
+
+		wheel := base
+		wheel.Scheduler = sim.SchedWheel
+		want := renderAll(fig.run(wheel))
+
+		heap := base
+		heap.Scheduler = sim.SchedHeap
+		if got := renderAll(fig.run(heap)); got != want {
+			t.Fatalf("%s: heap scheduler diverges from wheel:\n--- wheel ---\n%s\n--- heap ---\n%s",
+				fig.name, want, got)
+		}
+
+		par := base
+		par.Scheduler = sim.SchedHeap
+		par.Parallelism = 4
+		if got := renderAll(fig.run(par)); got != want {
+			t.Fatalf("%s: heap/4-worker output diverges from wheel/serial:\n--- wheel ---\n%s\n--- heap par ---\n%s",
+				fig.name, want, got)
+		}
+	}
+}

@@ -11,7 +11,9 @@ import (
 // variables allocates one closure per event — on paths that fire per
 // packet that is the dominant allocation of a run. The AfterArg/AtArg
 // variants take a pre-built capture-free callback plus a pointer
-// argument and allocate nothing.
+// argument and allocate nothing — unless the callback itself is a
+// capturing literal, which re-introduces the very allocation the
+// variant exists to avoid, so those are flagged too.
 func checkHotpath(c *Ctx) {
 	for _, f := range c.Pkg.Files {
 		if !fileMarked(f, "//lint:hotpath") {
@@ -23,14 +25,21 @@ func checkHotpath(c *Ctx) {
 				return true
 			}
 			fn := callee(c.Pkg.Info, call)
-			if !isPkgFunc(fn, c.Cfg.SimPath, "After", "At") || recvNamed(fn) != "Engine" {
+			if !isPkgFunc(fn, c.Cfg.SimPath, "After", "At", "AfterArg", "AtArg") || recvNamed(fn) != "Engine" {
 				return true
 			}
 			lit, ok := call.Args[1].(*ast.FuncLit)
 			if !ok {
 				return true
 			}
-			if caps := captures(c.Pkg, lit); len(caps) > 0 {
+			caps := captures(c.Pkg, lit)
+			if len(caps) == 0 {
+				return true
+			}
+			if strings.HasSuffix(fn.Name(), "Arg") {
+				c.Report(call.Pos(), "closure passed to Engine.%s captures %s and allocates per event on a hot path; pass the state through the arg parameter with a pre-built capture-free callback",
+					fn.Name(), strings.Join(caps, ", "))
+			} else {
 				c.Report(call.Pos(), "closure passed to Engine.%s captures %s and allocates per event on a hot path; use %sArg with a pre-built capture-free callback",
 					fn.Name(), strings.Join(caps, ", "), fn.Name())
 			}

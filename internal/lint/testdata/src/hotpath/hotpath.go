@@ -27,6 +27,17 @@ func ArmFixed(eng *sim.Engine, w *waiter, d units.Duration) {
 	eng.AfterArg(d, onFire, w)
 }
 
+// ArmArgClosure defeats the Arg variant with a capturing literal — the
+// violation the rule's AfterArg/AtArg coverage exists to catch.
+func ArmArgClosure(eng *sim.Engine, w *waiter, d units.Duration) {
+	eng.AfterArg(d, func(any) { w.fired++ }, nil)
+}
+
+// ArmAtArgClosure is the same violation through Engine.AtArg.
+func ArmAtArgClosure(eng *sim.Engine, w *waiter, t units.Time) {
+	eng.AtArg(t, func(any) { w.fired++ }, nil)
+}
+
 // ArmEmpty schedules a capture-free literal — clean.
 func ArmEmpty(eng *sim.Engine, d units.Duration) {
 	eng.After(d, func() {})

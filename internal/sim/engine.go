@@ -1,5 +1,7 @@
+//lint:hotpath schedule/peek/exec run once per simulated event
+
 // Package sim is the discrete-event core of the simulator: a
-// monotonically advancing picosecond clock, a binary-heap event queue
+// monotonically advancing picosecond clock, a timing-wheel event queue
 // with deterministic FIFO tie-breaking, cancellable timers, and a
 // seedable pseudo-random source. Everything above this package —
 // links, switches, hosts, protocols — is driven exclusively by events
@@ -9,7 +11,9 @@
 // millions of packets allocates only a high-water mark of events), and
 // the AtArg/AfterArg variants let hot paths schedule a pre-built
 // capture-free callback with a pointer argument, avoiding per-packet
-// closure allocation.
+// closure allocation. The default scheduler is a hierarchical timing
+// wheel (see wheel.go); SchedHeap selects the reference binary-heap
+// implementation, which executes events in the exact same order.
 package sim
 
 import (
@@ -18,11 +22,10 @@ import (
 	"floodgate/internal/units"
 )
 
-// event payloads live in a slab indexed by slot; the priority queue
-// itself holds only pointer-free entries, so sift operations incur no
-// GC write barriers and no slab write-backs. Cancellation is lazy: a
-// cancelled slot's generation advances and its heap entry is skipped
-// when it surfaces.
+// event payloads live in a slab indexed by slot; the queue structures
+// hold only pointer-free entries, so sift operations incur no GC write
+// barriers and no slab write-backs. Cancellation is lazy: a cancelled
+// slot's generation advances and its entry is skipped when it surfaces.
 type event struct {
 	fn    func()
 	argFn func(any)
@@ -55,21 +58,66 @@ func (h Handle) Active() bool {
 // Engine owns the simulation clock and event queue. It is not safe for
 // concurrent use: the simulated network is a single logical timeline.
 type Engine struct {
-	now     units.Time
-	seq     uint64
-	heap    []heapEnt
+	now   units.Time
+	seq   uint64
+	sched Scheduler
+
+	// SchedHeap state: one global 4-ary heap.
+	heap []heapEnt
+
+	// SchedWheel state (see wheel.go): the active-bucket heap, the
+	// near-horizon ring, and the far-timer overflow heap.
+	cur      []heapEnt
+	buckets  [][]heapEnt
+	base     units.Time // start of the active bucket's span
+	cursor   int        // ring index of the active bucket
+	wheelCnt int        // entries across buckets (excluding cur and overflow)
+	overflow []heapEnt
+
 	events  []event
 	free    []int32
-	live    int // heap entries whose event is still scheduled
-	heapHW  int // peak heap length (self-instrumentation)
+	live    int // entries whose event is still scheduled
+	entCnt  int // total queued entries across all structures (live + dead)
+	heapHW  int // peak entCnt (self-instrumentation)
 	stopped bool
 
 	// Processed counts events executed since creation (for reporting).
 	Processed uint64
 }
 
-// NewEngine returns an empty engine at time zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an empty engine at time zero using the default
+// timing-wheel scheduler.
+func NewEngine() *Engine { return NewEngineWith(SchedWheel) }
+
+// NewEngineWith returns an empty engine using the given scheduler.
+// Both schedulers execute events in the identical (time, seq) order,
+// so a run's output does not depend on the choice; SchedHeap exists as
+// the simple reference implementation for cross-checking.
+func NewEngineWith(s Scheduler) *Engine {
+	e := &Engine{sched: s}
+	if s == SchedWheel {
+		e.buckets = make([][]heapEnt, wheelBucketCount)
+		// Seed every bucket with a capacity slice of one shared backing
+		// array: growing 1024 buckets from nil costs thousands of tiny
+		// reallocations per run, where one block costs one. The full
+		// slice expressions pin each bucket's capacity to its segment so
+		// an overflowing append reallocates only that bucket.
+		backing := make([]heapEnt, wheelBucketCount*bucketSeedCap)
+		for i := range e.buckets {
+			lo := i * bucketSeedCap
+			e.buckets[i] = backing[lo : lo : lo+bucketSeedCap]
+		}
+	}
+	return e
+}
+
+// bucketSeedCap is each bucket's initial capacity (entries). Capacity
+// also recirculates at runtime — draining a bucket swaps its slice
+// with the spent active-bucket heap — so reallocation settles quickly.
+const bucketSeedCap = 16
+
+// Sched reports which scheduler the engine runs on.
+func (e *Engine) Sched() Scheduler { return e.sched }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() units.Time { return e.now }
@@ -106,8 +154,21 @@ func (e *Engine) schedule(t units.Time, fn func(), argFn func(any), arg any) Han
 	ent := heapEnt{at: t, seq: e.seq, slot: slot, gen: gen}
 	e.seq++
 	e.live++
-	e.push(ent)
+	e.insert(ent)
 	return Handle{e, slot, gen}
+}
+
+// insert places an entry in the scheduler structure.
+func (e *Engine) insert(ent heapEnt) {
+	e.entCnt++
+	if e.entCnt > e.heapHW {
+		e.heapHW = e.entCnt
+	}
+	if e.sched == SchedHeap {
+		entPush(&e.heap, ent)
+		return
+	}
+	e.insertWheel(ent)
 }
 
 // At schedules fn to run at absolute time t, which must not precede
@@ -137,7 +198,7 @@ func (e *Engine) AfterArg(d units.Duration, fn func(any), arg any) Handle {
 	return e.schedule(e.now.Add(d), nil, fn, arg)
 }
 
-// Cancel removes a pending event (lazily: its heap entry is skipped
+// Cancel removes a pending event (lazily: its queue entry is skipped
 // when it surfaces, or swept in bulk once dead entries outnumber live
 // ones). Cancelling an already-fired, already-cancelled, or zero
 // handle is a no-op.
@@ -148,32 +209,40 @@ func (e *Engine) Cancel(h Handle) {
 	e.recycle(h.slot)
 	e.live--
 	// Cancel-heavy workloads (e.g. go-back-N RTO rescheduling) would
-	// otherwise bloat the heap with dead entries that are only shed
+	// otherwise bloat the queue with dead entries that are only shed
 	// when they surface; compact once they dominate.
-	if dead := len(e.heap) - e.live; dead > len(e.heap)/2 && len(e.heap) >= minCompactLen {
+	if dead := e.entCnt - e.live; dead > e.entCnt/2 && e.entCnt >= minCompactLen {
 		e.compact()
 	}
 }
 
-// minCompactLen keeps compaction from thrashing on tiny heaps, where
+// minCompactLen keeps compaction from thrashing on tiny queues, where
 // lazy skipping is already cheap.
 const minCompactLen = 64
 
-// compact drops every dead (cancelled) entry and restores the heap
-// invariant. Sift order uses the same (time, seq) comparator as push
-// and pop, so the surviving entries fire in an identical order and
-// determinism is unaffected.
+// compact drops every dead (cancelled) entry and restores the queue
+// invariants. The surviving entries fire in an identical order — both
+// schedulers pop the exact (time, seq) minimum regardless of internal
+// arrangement — so determinism is unaffected.
 func (e *Engine) compact() {
-	kept := e.heap[:0]
-	for _, ent := range e.heap {
+	if e.sched == SchedHeap {
+		e.heap = e.filterLive(e.heap)
+		entHeapInit(e.heap)
+		e.entCnt = len(e.heap)
+		return
+	}
+	e.compactWheel()
+}
+
+// filterLive drops dead entries in place, preserving relative order.
+func (e *Engine) filterLive(ents []heapEnt) []heapEnt {
+	kept := ents[:0]
+	for _, ent := range ents {
 		if e.events[ent.slot].gen == ent.gen {
 			kept = append(kept, ent)
 		}
 	}
-	e.heap = kept
-	for i := (len(kept) - 2) / heapArity; i >= 0 && len(kept) > 1; i-- {
-		e.down(i)
-	}
+	return kept
 }
 
 // Stats is a passive point-in-time snapshot of the engine's internals,
@@ -184,12 +253,18 @@ func (e *Engine) compact() {
 type Stats struct {
 	Processed     uint64 // events executed since creation
 	Live          int    // events still scheduled
-	HeapLen       int    // current heap length (live + dead entries)
-	HeapHighWater int    // peak heap length
+	HeapLen       int    // total queued entries across all structures (live + dead)
+	HeapHighWater int    // peak queued-entry count
 	DeadEntries   int    // lazily cancelled entries awaiting removal
 	SlabSize      int    // event slots ever allocated (pool high-water)
 	FreeSlots     int    // recycled slots awaiting reuse
 	InUse         int    // SlabSize - FreeSlots (pool balance)
+
+	// Wheel-mode queue breakdown (all zero under SchedHeap):
+	// HeapLen = CurLen + BucketLen + OverflowLen.
+	CurLen      int // active-bucket heap entries
+	BucketLen   int // entries parked in near-horizon buckets
+	OverflowLen int // far timers in the overflow heap
 }
 
 // StatsSnapshot reads the engine's self-metrics. It performs no
@@ -199,12 +274,15 @@ func (e *Engine) StatsSnapshot() Stats {
 	return Stats{
 		Processed:     e.Processed,
 		Live:          e.live,
-		HeapLen:       len(e.heap),
+		HeapLen:       e.entCnt,
 		HeapHighWater: e.heapHW,
-		DeadEntries:   len(e.heap) - e.live,
+		DeadEntries:   e.entCnt - e.live,
 		SlabSize:      len(e.events),
 		FreeSlots:     len(e.free),
 		InUse:         len(e.events) - len(e.free),
+		CurLen:        len(e.cur),
+		BucketLen:     e.wheelCnt,
+		OverflowLen:   len(e.overflow),
 	}
 }
 
@@ -214,18 +292,43 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending reports the number of live events still queued in O(1).
 func (e *Engine) Pending() int { return e.live }
 
+// peekEnt returns the (time, seq)-minimum queued entry, dead or live,
+// advancing the wheel position as needed. The advance only moves
+// internal cursors — it never executes events or touches the clock —
+// so peeking is observationally idempotent.
+func (e *Engine) peekEnt() (heapEnt, bool) {
+	if e.sched == SchedHeap {
+		if len(e.heap) == 0 {
+			return heapEnt{}, false
+		}
+		return e.heap[0], true
+	}
+	return e.peekWheel()
+}
+
+// nextAt reports the timestamp of the earliest queued entry (live or
+// lazily cancelled). Benchmark and test helper.
+func (e *Engine) nextAt() (units.Time, bool) {
+	ent, ok := e.peekEnt()
+	return ent.at, ok
+}
+
 // Run executes events in timestamp order until the queue empties, Stop
 // is called, or the next event would fire after `until`. The clock is
 // left at `until` when the run reaches it, or at the last executed
 // event's time when stopped.
 func (e *Engine) Run(until units.Time) {
 	e.stopped = false
-	for !e.stopped && len(e.heap) > 0 {
-		if e.heap[0].at > until {
+	for !e.stopped {
+		ent, ok := e.peekEnt()
+		if !ok {
+			break
+		}
+		if ent.at > until {
 			e.now = until
 			return
 		}
-		e.step()
+		e.exec(ent)
 	}
 	if !e.stopped && e.now < until {
 		e.now = until
@@ -235,14 +338,23 @@ func (e *Engine) Run(until units.Time) {
 // RunAll executes every event until the queue drains or Stop is called.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for !e.stopped && len(e.heap) > 0 {
-		e.step()
+	for !e.stopped {
+		ent, ok := e.peekEnt()
+		if !ok {
+			break
+		}
+		e.exec(ent)
 	}
 }
 
-func (e *Engine) step() {
-	ent := e.heap[0]
-	e.popRoot()
+// exec pops the entry peekEnt just returned and runs its event.
+func (e *Engine) exec(ent heapEnt) {
+	if e.sched == SchedHeap {
+		entPop(&e.heap)
+	} else {
+		entPop(&e.cur)
+	}
+	e.entCnt--
 	ev := &e.events[ent.slot]
 	if ev.gen != ent.gen {
 		return // lazily cancelled
@@ -259,8 +371,9 @@ func (e *Engine) step() {
 	}
 }
 
-// less orders entries by (time, schedule sequence).
-func (e *Engine) less(a, b heapEnt) bool {
+// entLess orders entries by (time, schedule sequence) — a strict total
+// order, since sequence numbers are unique.
+func entLess(a, b heapEnt) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -269,42 +382,48 @@ func (e *Engine) less(a, b heapEnt) bool {
 
 const heapArity = 4
 
-func (e *Engine) push(ent heapEnt) {
-	e.heap = append(e.heap, ent)
-	if len(e.heap) > e.heapHW {
-		e.heapHW = len(e.heap)
-	}
-	e.up(len(e.heap) - 1)
-}
-
-// popRoot removes the minimum entry.
-func (e *Engine) popRoot() {
-	n := len(e.heap) - 1
-	if n > 0 {
-		e.heap[0] = e.heap[n]
-	}
-	e.heap = e.heap[:n]
-	if n > 1 {
-		e.down(0)
-	}
-}
-
-func (e *Engine) up(i int) {
-	ent := e.heap[i]
+// entPush adds an entry to a 4-ary min-heap slice.
+func entPush(h *[]heapEnt, ent heapEnt) {
+	*h = append(*h, ent)
+	s := *h
+	i := len(s) - 1
 	for i > 0 {
 		parent := (i - 1) / heapArity
-		if !e.less(ent, e.heap[parent]) {
+		if !entLess(ent, s[parent]) {
 			break
 		}
-		e.heap[i] = e.heap[parent]
+		s[i] = s[parent]
 		i = parent
 	}
-	e.heap[i] = ent
+	s[i] = ent
 }
 
-func (e *Engine) down(i int) {
-	n := len(e.heap)
-	ent := e.heap[i]
+// entPop removes the minimum entry of a 4-ary min-heap slice.
+func entPop(h *[]heapEnt) {
+	s := *h
+	n := len(s) - 1
+	if n > 0 {
+		s[0] = s[n]
+	}
+	*h = s[:n]
+	if n > 1 {
+		entDown(s[:n], 0)
+	}
+}
+
+// entHeapInit establishes the heap invariant over an arbitrary slice.
+func entHeapInit(s []heapEnt) {
+	if len(s) < 2 {
+		return
+	}
+	for i := (len(s) - 2) / heapArity; i >= 0; i-- {
+		entDown(s, i)
+	}
+}
+
+func entDown(s []heapEnt, i int) {
+	n := len(s)
+	ent := s[i]
 	for {
 		first := heapArity*i + 1
 		if first >= n {
@@ -316,15 +435,15 @@ func (e *Engine) down(i int) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if e.less(e.heap[c], e.heap[best]) {
+			if entLess(s[c], s[best]) {
 				best = c
 			}
 		}
-		if !e.less(e.heap[best], ent) {
+		if !entLess(s[best], ent) {
 			break
 		}
-		e.heap[i] = e.heap[best]
+		s[i] = s[best]
 		i = best
 	}
-	e.heap[i] = ent
+	s[i] = ent
 }

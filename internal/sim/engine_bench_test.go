@@ -25,7 +25,34 @@ func BenchmarkEngineCorePushPop(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				t = t.Add(units.Nanosecond)
 				e.At(t, count)
-				e.Run(e.heap[0].at)
+				at, _ := e.nextAt()
+				e.Run(at)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCorePushPopHeap is the same workload on the reference
+// heap scheduler, so the wheel's advantage stays visible in BENCH_PR*
+// snapshots.
+func BenchmarkEngineCorePushPopHeap(b *testing.B) {
+	for _, backlog := range []int{16, 1024, 65536} {
+		b.Run(benchName("backlog", backlog), func(b *testing.B) {
+			e := NewEngineWith(SchedHeap)
+			n := 0
+			count := func() { n++ }
+			t := units.Time(0)
+			for i := 0; i < backlog; i++ {
+				t = t.Add(units.Nanosecond)
+				e.At(t, count)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t = t.Add(units.Nanosecond)
+				e.At(t, count)
+				at, _ := e.nextAt()
+				e.Run(at)
 			}
 		})
 	}
@@ -48,7 +75,8 @@ func BenchmarkEngineCoreAfterArg(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Run(e.heap[0].at)
+		at, _ := e.nextAt()
+		e.Run(at)
 	}
 }
 
@@ -107,12 +135,14 @@ func TestAfterArgZeroAlloc(t *testing.T) {
 		e.AfterArg(units.Nanosecond, fn, a)
 	}
 	e.AfterArg(units.Nanosecond, fn, p)
-	// Warm the slab and heap.
+	// Warm the slab and queue structures.
 	for i := 0; i < 64; i++ {
-		e.Run(e.heap[0].at)
+		at, _ := e.nextAt()
+		e.Run(at)
 	}
 	allocs := testing.AllocsPerRun(1000, func() {
-		e.Run(e.heap[0].at)
+		at, _ := e.nextAt()
+		e.Run(at)
 	})
 	if allocs != 0 {
 		t.Fatalf("AfterArg hot path allocates %.1f allocs/op, want 0", allocs)
@@ -146,8 +176,8 @@ func TestHeapCompaction(t *testing.T) {
 	if got := e.Pending(); got != keep {
 		t.Fatalf("Pending = %d, want %d", got, keep)
 	}
-	if len(e.heap) > 2*keep {
-		t.Fatalf("heap not compacted: len %d for %d live", len(e.heap), keep)
+	if ql := e.StatsSnapshot().HeapLen; ql > 2*keep {
+		t.Fatalf("queue not compacted: len %d for %d live", ql, keep)
 	}
 	e.RunAll()
 	if len(fired) != keep {

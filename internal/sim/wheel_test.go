@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+
+	"floodgate/internal/units"
+)
+
+// TestWheelScheduleAtNow covers the d <= 0 insert path: events
+// scheduled at exactly Now() — including after the clock was advanced
+// by Run past the wheel base — must fire before any later event, in
+// scheduling order.
+func TestWheelScheduleAtNow(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	// Park a far timer so the wheel has jumped its base well past zero
+	// by the time the Now()-relative events are scheduled.
+	far := units.Time(10 * wheelHorizon)
+	e.At(far, func() { order = append(order, 99) })
+	e.Run(far - 1) // clock at far-1; base may sit anywhere ≤ far
+	e.At(e.Now(), func() { order = append(order, 0) })
+	e.At(e.Now(), func() {
+		order = append(order, 1)
+		// Scheduling at Now() from inside an event (the After(0)
+		// pattern) must also run before anything later.
+		e.After(0, func() { order = append(order, 2) })
+	})
+	e.RunAll()
+	want := []int{0, 1, 2, 99}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWheelBoundaryTieBreak pins FIFO tie-breaking for two events with
+// an identical timestamp where the first is filed in the overflow heap
+// (beyond the horizon) and the second — scheduled later, after the
+// wheel advanced — lands in a near bucket. Scheduling order must win.
+func TestWheelBoundaryTieBreak(t *testing.T) {
+	e := NewEngine()
+	target := units.Time(wheelHorizon + wheelHorizon/2)
+	var order []int
+	e.At(target, func() { order = append(order, 0) }) // overflow at schedule time
+	if s := e.StatsSnapshot(); s.OverflowLen != 1 {
+		t.Fatalf("far event not in overflow: %+v", s)
+	}
+	// Advance the wheel past half the horizon, then schedule the twin.
+	e.At(units.Time(wheelHorizon*3/4), func() {
+		e.At(target, func() { order = append(order, 1) }) // near structure now
+		if s := e.StatsSnapshot(); s.OverflowLen != 0 {
+			t.Fatalf("twin not migrated/near: %+v", s)
+		}
+	})
+	e.RunAll()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("tie-break across boundary broken: %v", order)
+	}
+}
+
+// TestWheelFarTimerMigration proves a timer parked beyond the horizon
+// migrates into the near buckets as the wheel advances and still fires
+// at exactly its timestamp, interleaved correctly with near traffic.
+func TestWheelFarTimerMigration(t *testing.T) {
+	e := NewEngine()
+	farAt := units.Time(wheelHorizon + 3*wheelGran/2)
+	var firedAt units.Time
+	e.At(farAt, func() { firedAt = e.Now() })
+	if s := e.StatsSnapshot(); s.OverflowLen != 1 {
+		t.Fatalf("far timer not in overflow: %+v", s)
+	}
+	// Near traffic marches the cursor across the full ring, forcing the
+	// per-advance migration path (not the idle jump).
+	var last units.Time
+	for at := units.Time(wheelGran / 2); at < farAt+units.Time(wheelGran); at += units.Time(wheelGran) {
+		at := at
+		e.At(at, func() { last = at })
+	}
+	e.RunAll()
+	if firedAt != farAt {
+		t.Fatalf("far timer fired at %v, want %v", firedAt, farAt)
+	}
+	if last < farAt {
+		t.Fatalf("near traffic stopped early at %v", last)
+	}
+	if s := e.StatsSnapshot(); s.OverflowLen != 0 || s.HeapLen != 0 {
+		t.Fatalf("queue not drained: %+v", s)
+	}
+}
+
+// TestCancelFiredHandle: cancelling a handle whose event already fired
+// must be a no-op — in particular it must not kill an unrelated event
+// that recycled the same slot.
+func TestCancelFiredHandle(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	h := e.At(1, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("first event fired %d times", fired)
+	}
+	// Reuses h's slot with a bumped generation.
+	e.At(2, func() { fired++ })
+	e.Cancel(h) // stale: same slot, old generation
+	e.Cancel(h) // double-cancel of a stale handle
+	if e.Pending() != 1 {
+		t.Fatalf("stale Cancel disturbed pending count: %d", e.Pending())
+	}
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("slot-reusing event killed by stale handle: fired %d", fired)
+	}
+	if s := e.StatsSnapshot(); s.Live != 0 || s.InUse != 0 {
+		t.Fatalf("accounting skewed after stale cancels: %+v", s)
+	}
+}
+
+// TestCrossSchedulerIdenticalOrder is the scheduler-equivalence
+// property test: a randomized schedule/cancel workload spanning the
+// Now() boundary, the near buckets, and the overflow horizon must
+// execute in the identical (time, seq) order on both schedulers.
+func TestCrossSchedulerIdenticalOrder(t *testing.T) {
+	type fire struct {
+		at units.Time
+		id int
+	}
+	run := func(s Scheduler, seed uint64) []fire {
+		e := NewEngineWith(s)
+		r := NewRand(seed)
+		var log []fire
+		id := 0
+		handles := make([]Handle, 0, 64)
+		var churn func(any)
+		churn = func(any) {
+			// Each tick: schedule a batch at mixed horizons, cancel a
+			// random prior survivor, keep churning.
+			for i := 0; i < 4; i++ {
+				myID := id
+				id++
+				var d units.Duration
+				switch r.Intn(4) {
+				case 0:
+					d = 0 // at Now()
+				case 1:
+					d = units.Duration(r.Int63n(int64(wheelGran))) // active bucket
+				case 2:
+					d = units.Duration(r.Int63n(int64(wheelHorizon))) // near buckets
+				default:
+					d = wheelHorizon + units.Duration(r.Int63n(int64(wheelHorizon))) // overflow
+				}
+				handles = append(handles, e.AfterArg(d, func(a any) {
+					log = append(log, fire{e.Now(), a.(int)})
+				}, myID))
+			}
+			if len(handles) > 0 && r.Intn(2) == 0 {
+				e.Cancel(handles[r.Intn(len(handles))])
+			}
+			if id < 2000 {
+				e.AfterArg(units.Duration(r.Int63n(int64(wheelGran*8)))+1, churn, nil)
+			}
+		}
+		churn(nil)
+		e.RunAll()
+		return log
+	}
+	for _, seed := range []uint64{1, 7, 42} {
+		wheel := run(SchedWheel, seed)
+		heap := run(SchedHeap, seed)
+		if len(wheel) != len(heap) {
+			t.Fatalf("seed %d: fired %d (wheel) vs %d (heap)", seed, len(wheel), len(heap))
+		}
+		for i := range wheel {
+			if wheel[i] != heap[i] {
+				t.Fatalf("seed %d: divergence at event %d: wheel %+v heap %+v",
+					seed, i, wheel[i], heap[i])
+			}
+		}
+	}
+}
+
+// TestWatchdogOverflowUnderWheel pins the satellite requirement that
+// progress-watchdog ticks live in the overflow heap (their horizon far
+// exceeds the wheel's) rather than pinning near buckets, and that a
+// stall is still caught within one to two horizons under the wheel
+// scheduler despite busy near-bucket traffic.
+func TestWatchdogOverflowUnderWheel(t *testing.T) {
+	eng := NewEngine()
+	horizon := 4 * units.Duration(wheelHorizon) // ≈ 537 µs, a realistic stall horizon
+	var progress int64
+	var trippedAt units.Time
+	w := NewWatchdog(eng, horizon, func() int64 { return progress }, func() {
+		trippedAt = eng.Now()
+		eng.Stop()
+	})
+	if s := eng.StatsSnapshot(); s.OverflowLen != 1 || s.BucketLen != 0 || s.CurLen != 0 {
+		t.Fatalf("watchdog tick not parked in overflow: %+v", s)
+	}
+	// Progress for 10 ticks of near-horizon traffic, then a silent spin
+	// that keeps the event loop (and wheel cursor) busy without progress.
+	var step func(any)
+	step = func(any) {
+		progress++
+		if progress < 10 {
+			eng.AfterArg(units.Duration(wheelGran), step, nil)
+		}
+	}
+	step(nil)
+	var spin func(any)
+	spin = func(any) { eng.AfterArg(units.Duration(wheelGran)/4, spin, nil) }
+	spin(nil)
+	eng.Run(units.Time(units.Second))
+	if !w.Tripped() {
+		t.Fatal("watchdog never tripped under wheel scheduler")
+	}
+	stall := units.Time(9 * wheelGran) // progress ceases here
+	lo, hi := stall.Add(horizon), stall.Add(2*horizon)
+	if trippedAt <= lo || trippedAt > hi {
+		t.Fatalf("tripped at %v, want within (%v, %v]", trippedAt, lo, hi)
+	}
+}

@@ -59,11 +59,8 @@ type Collector struct {
 	fcts [NumCategories][]FCTSample
 
 	// Buffer occupancy maxima.
-	maxSwitchBuf   map[int32]units.ByteSize // per switch node
-	maxPortBuf     map[portKey]units.ByteSize
-	maxClassBuf    [topo.NumPortClasses]units.ByteSize
-	maxNetSwitch   units.ByteSize // max over switches of per-switch max
-	curSwitchTotal map[int32]units.ByteSize
+	maxClassBuf  [topo.NumPortClasses]units.ByteSize
+	maxNetSwitch units.ByteSize // max over switches of per-switch max
 
 	// Buffer occupancy time series per port class (Fig 16): sampled as a
 	// running max within each bin.
@@ -92,22 +89,12 @@ type Collector struct {
 	MaxVOQInUse int
 }
 
-type portKey struct {
-	node int32
-	port int32
-}
-
 // NewCollector returns a collector with the given time-series bin width.
 func NewCollector(binWidth units.Duration) *Collector {
 	if binWidth <= 0 {
 		binWidth = 10 * units.Microsecond
 	}
-	return &Collector{
-		binWidth:       binWidth,
-		maxSwitchBuf:   make(map[int32]units.ByteSize),
-		maxPortBuf:     make(map[portKey]units.ByteSize),
-		curSwitchTotal: make(map[int32]units.ByteSize),
-	}
+	return &Collector{binWidth: binWidth}
 }
 
 // BinWidth returns the time-series bin width.
@@ -136,26 +123,20 @@ func (c *Collector) FlowDone(flow uint64, cat Category, size units.ByteSize, sta
 	})
 }
 
-// SwitchBuffer reports a switch's new total buffer occupancy.
+// SwitchBuffer reports a switch's new total buffer occupancy. Only the
+// network-wide maximum is retained: the per-switch maximum never exceeds
+// it, so a single comparison is an equivalent gate.
 func (c *Collector) SwitchBuffer(node int32, total units.ByteSize) {
-	c.curSwitchTotal[node] = total
-	if total > c.maxSwitchBuf[node] {
-		c.maxSwitchBuf[node] = total
-		if total > c.maxNetSwitch {
-			c.maxNetSwitch = total
-		}
+	if total > c.maxNetSwitch {
+		c.maxNetSwitch = total
 	}
 }
 
 // PortBuffer reports a port's new buffered byte count (egress queue
 // plus VOQ bytes routed through it).
 func (c *Collector) PortBuffer(now units.Time, node int32, port int32, class topo.PortClass, bytes units.ByteSize) {
-	k := portKey{node, port}
-	if bytes > c.maxPortBuf[k] {
-		c.maxPortBuf[k] = bytes
-		if bytes > c.maxClassBuf[class] {
-			c.maxClassBuf[class] = bytes
-		}
+	if bytes > c.maxClassBuf[class] {
+		c.maxClassBuf[class] = bytes
 	}
 	idx := c.bin(now)
 	c.bufSeries[class] = grow(c.bufSeries[class], idx)

@@ -211,6 +211,13 @@ func (t *Topology) computeRoutes() {
 	}
 	dist := make([]int, n)
 	queue := make([]packet.NodeID, 0, n)
+	// Each port appears in at most one next-hop set per host, so one
+	// arena of totalPorts entries per host backs every route slice of
+	// that host — one allocation instead of one per (node, host).
+	totalPorts := 0
+	for _, node := range t.Nodes {
+		totalPorts += len(node.Ports)
+	}
 	for hi, h := range t.Hosts {
 		for i := range dist {
 			dist[i] = -1
@@ -233,17 +240,18 @@ func (t *Topology) computeRoutes() {
 		// A node's next hops toward h are all ports whose peer is one
 		// step closer. Hosts never forward transit traffic: their only
 		// next hop is their ToR uplink, which the BFS yields naturally.
+		arena := make([]int, 0, totalPorts)
 		for _, node := range t.Nodes {
 			if node.ID == h || dist[node.ID] == -1 {
 				continue
 			}
-			var ports []int
+			lo := len(arena)
 			for i, p := range node.Ports {
 				if d := dist[p.Peer]; d >= 0 && d == dist[node.ID]-1 {
-					ports = append(ports, i)
+					arena = append(arena, i)
 				}
 			}
-			t.routes[node.ID][hi] = ports
+			t.routes[node.ID][hi] = arena[lo:len(arena):len(arena)]
 		}
 	}
 }
