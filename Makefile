@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json bench-smoke profile obs-smoke fault-smoke ci
+.PHONY: build test race vet lint bench bench-json bench-smoke profile obs-smoke fault-smoke shard-smoke ci
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the parallel executor (the rest of the suite is
-# single-goroutine per run; exp is where concurrency lives). The
-# simdebug tag arms the packet-pool lifecycle assertions, so the same
-# run also catches double-release / use-after-release bugs.
+# Race-check the concurrency layer: the run-level worker pool AND the
+# sharded conservative-window executor (shardexec.go barriers, cross-
+# shard mailboxes) both live in internal/exp — the rest of the suite is
+# single-goroutine per shard, enforced by the floodlint goroutine rule.
+# The simdebug tag arms the packet-pool lifecycle assertions, so the
+# same run also catches double-release / use-after-release bugs.
 race:
 	$(GO) test -race -tags simdebug -timeout 3600s ./internal/exp/...
 
@@ -38,7 +40,7 @@ bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem \
 		./internal/sim ./internal/metrics; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkRun' -benchmem -benchtime 10x \
-		./internal/exp; } | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+		./internal/exp; } | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 
 # One-iteration macro benchmarks: catches bit-rot in the benchmark
 # harness (and hot-path allocation regressions via benchjson's gate)
@@ -73,4 +75,16 @@ fault-smoke:
 		-run 'TestFloodgateRecovers|TestFloodgateResyncs|TestWatchdog|TestFaultedRunsBitIdentical|TestRunConfigValidation|TestRunJobsIsolates' \
 		./internal/sim ./internal/exp
 
-ci: build lint test race obs-smoke fault-smoke bench-smoke
+# Sharded-executor smoke: a tiny 2-shard fig2 experiment end to end
+# through floodsim (exercises partitioning, barrier windows and the
+# mailbox exchange on a real figure), plus the quick shard unit gates
+# under the race detector with simdebug pool assertions. The full
+# shards × par × scheduler bit-identity matrix runs in `make race`
+# (TestShardDeterminism / TestShardFaultMatrixBitIdentical).
+shard-smoke:
+	$(GO) run ./cmd/floodsim -exp fig2 -scale 0.1 -shards 2 > /dev/null
+	$(GO) test -race -tags simdebug -count=1 \
+		-run 'TestShardWatchdog|TestShardCrossCut|TestShardOversub|TestShardValidation' \
+		./internal/exp
+
+ci: build lint test race obs-smoke fault-smoke shard-smoke bench-smoke

@@ -35,13 +35,37 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds b.ReportMetric extras (events/s, simsec/wallsec)
+	// keyed by unit token; Go marshals map keys sorted, so the file
+	// stays diffable.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type doc struct {
 	Format     int           `json:"format"`
 	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	CPUModel   string        `json:"cpu_model,omitempty"`
 	Count      int           `json:"count"`
 	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// cpuModel best-effort identifies the host CPU so a regression diff
+// can tell a real change from a hardware move. Linux only (reads
+// /proc/cpuinfo); elsewhere the field is omitted.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
 }
 
 // benchName matches the row prefix, e.g. "BenchmarkMetricsHotPath-8 121170255 9.8 ns/op".
@@ -63,12 +87,24 @@ func parseLine(line string) (benchResult, bool) {
 	ns, _ := strconv.ParseFloat(m[3], 64)
 	r := benchResult{Name: m[1], Iterations: iters, NsPerOp: ns}
 	fields := strings.Fields(line)
-	for i := 1; i < len(fields); i++ {
-		switch fields[i] {
+	for i := 2; i < len(fields); i++ {
+		switch f := fields[i]; f {
+		case "ns/op":
 		case "B/op":
 			r.BytesPerOp, _ = strconv.ParseInt(fields[i-1], 10, 64)
 		case "allocs/op":
 			r.AllocsPerOp, _ = strconv.ParseInt(fields[i-1], 10, 64)
+		default:
+			// Custom b.ReportMetric units (events/s, simsec/wallsec, ...):
+			// any remaining unit token preceded by a number.
+			if strings.Contains(f, "/") {
+				if v, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+					if r.Metrics == nil {
+						r.Metrics = make(map[string]float64)
+					}
+					r.Metrics[f] = v
+				}
+			}
 		}
 	}
 	return r, true
@@ -99,6 +135,8 @@ func main() {
 	data, err := json.MarshalIndent(doc{
 		Format:     2,
 		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
 		Count:      len(results),
 		Benchmarks: results,
 	}, "", "  ")

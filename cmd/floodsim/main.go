@@ -44,6 +44,7 @@ func main() {
 		scale      = flag.Float64("scale", 0.25, "fabric scale in (0,1]; 1 = paper scale")
 		seed       = flag.Uint64("seed", 1, "workload/simulation seed")
 		par        = flag.Int("par", 0, "max concurrent simulations; 0 = all cores, 1 = serial")
+		shards     = flag.Int("shards", 1, "engine shards per simulation (conservative-window PDES); output is identical at any count")
 		list       = flag.Bool("list", false, "list available experiments")
 		obsDir     = flag.String("obs", "", "write per-run metrics/timeline files under this directory")
 		sample     = flag.Duration("sample", 0, "metrics sampling period on the simulation clock (e.g. 10us); 0 = default")
@@ -58,6 +59,14 @@ func main() {
 	case "wheel", "heap":
 	default:
 		fmt.Fprintf(os.Stderr, "floodsim: unknown -sched %q (want wheel or heap)\n", *sched)
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "floodsim: -shards must be non-negative, got %d\n", *shards)
+		os.Exit(2)
+	}
+	if *shards > 1 && *obsDir != "" {
+		fmt.Fprintln(os.Stderr, "floodsim: -obs does not compose with -shards > 1 (per-shard metric export is not merged; see DESIGN.md §10)")
 		os.Exit(2)
 	}
 
@@ -101,7 +110,7 @@ func main() {
 	}
 
 	if *faults != "" {
-		o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt}
+		o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt, Shards: *shards}
 		start := time.Now() //lint:allow walltime progress reporting times the real run, not the simulation
 		tables, err := floodgate.RunFaultScenario(*faults, o)
 		if err != nil {
@@ -128,7 +137,7 @@ func main() {
 		return
 	}
 
-	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt}
+	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt, Shards: *shards}
 	if *obsDir != "" {
 		o.Obs = floodgate.ObsConfig{Dir: *obsDir, Period: floodgate.FromNanos(sample.Nanoseconds())}
 	}

@@ -27,7 +27,7 @@ func bfcNet(queues int, ideal bool) (*device.Network, *topo.Topology) {
 		Topo:          tp,
 		Engine:        sim.NewEngine(),
 		Stats:         stats.NewCollector(10 * units.Microsecond),
-		Rand:          sim.NewRand(2),
+		Seed:          2,
 		PFC:           device.PFCConfig{Enable: true, Alpha: 2},
 		CC:            cc.NewFixedWindow(),
 		QueuesPerPort: qpp,
@@ -80,7 +80,7 @@ func TestBFCBoundsQueues(t *testing.T) {
 	nNo := device.New(device.Config{
 		Topo: cfgTopo, Engine: sim.NewEngine(),
 		Stats: stats.NewCollector(10 * units.Microsecond),
-		Rand:  sim.NewRand(2),
+		Seed:  2,
 		PFC:   device.PFCConfig{Enable: true, Alpha: 2},
 		CC:    cc.NewFixedWindow(),
 	})
@@ -104,7 +104,7 @@ func TestBFCPausesHostFlows(t *testing.T) {
 	n := device.New(device.Config{
 		Topo: tp, Engine: sim.NewEngine(),
 		Stats:         stats.NewCollector(10 * units.Microsecond),
-		Rand:          sim.NewRand(4),
+		Seed:          4,
 		PFC:           device.PFCConfig{Enable: true, Alpha: 2},
 		CC:            cc.NewFixedWindow(),
 		QueuesPerPort: 8,

@@ -24,7 +24,7 @@ func testNet(hostsPerToR int, fgCfg *core.Config) (*device.Network, device.Confi
 		Topo:   tp,
 		Engine: sim.NewEngine(),
 		Stats:  stats.NewCollector(10 * units.Microsecond),
-		Rand:   sim.NewRand(7),
+		Seed:   7,
 		PFC:    device.PFCConfig{Enable: true, Alpha: 2},
 	}
 	if fgCfg != nil {
@@ -208,7 +208,7 @@ func TestLossRecoveryViaPSN(t *testing.T) {
 	cfg := device.Config{
 		Topo: tp, Engine: sim.NewEngine(),
 		Stats:    stats.NewCollector(10 * units.Microsecond),
-		Rand:     sim.NewRand(3),
+		Seed:     3,
 		PFC:      device.PFCConfig{Enable: true, Alpha: 2},
 		FC:       core.New(*fg),
 		LossRate: 0.05,
@@ -294,7 +294,7 @@ func TestFatTreeBidirectionalIncastNoDeadlock(t *testing.T) {
 	cfg := device.Config{
 		Topo: tp, Engine: sim.NewEngine(),
 		Stats: stats.NewCollector(10 * units.Microsecond),
-		Rand:  sim.NewRand(5),
+		Seed:  5,
 		PFC:   device.PFCConfig{Enable: true, Alpha: 2},
 		FC:    core.New(fg),
 	}
@@ -331,7 +331,7 @@ func TestSwitchSYNResyncsAfterTotalCreditLoss(t *testing.T) {
 	cfg := device.Config{
 		Topo: tp, Engine: sim.NewEngine(),
 		Stats:    stats.NewCollector(10 * units.Microsecond),
-		Rand:     sim.NewRand(11),
+		Seed:     11,
 		PFC:      device.PFCConfig{Enable: true, Alpha: 2},
 		FC:       core.New(*fg),
 		LossRate: 0.3,

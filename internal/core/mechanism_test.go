@@ -143,7 +143,7 @@ func TestVOQGroupingSplitsPool(t *testing.T) {
 	cfg := device.Config{
 		Topo: tp, Engine: sim.NewEngine(),
 		Stats: stats.NewCollector(10 * units.Microsecond),
-		Rand:  sim.NewRand(1),
+		Seed:  1,
 		FC:    core.New(fg),
 	}
 	n := device.New(cfg)
@@ -176,7 +176,7 @@ func TestQueueSignalOverrideForVOQPackets(t *testing.T) {
 	cfg := device.Config{
 		Topo: tp, Engine: sim.NewEngine(),
 		Stats: stats.NewCollector(10 * units.Microsecond),
-		Rand:  sim.NewRand(1),
+		Seed:  1,
 		PFC:   device.PFCConfig{Enable: true, Alpha: 2},
 		INT:   true,
 		FC:    core.New(*fg),

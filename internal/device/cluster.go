@@ -1,0 +1,292 @@
+// Cluster wires one topology into k shard Networks for the sharded
+// conservative-window executor (see exp/shardexec.go). Each shard owns
+// the devices its partition assigns to it and runs on its own engine,
+// collector and packet pool; the only shard-crossing state is the set
+// of cross-shard wires, whose frames are staged into per-link mailboxes
+// and handed to the peer shard's mirror chain at barrier windows.
+
+package device
+
+import (
+	"fmt"
+
+	"floodgate/internal/cc"
+	"floodgate/internal/fault"
+	"floodgate/internal/packet"
+	"floodgate/internal/sim"
+	"floodgate/internal/stats"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+)
+
+// xlink is one cross-shard directed link: the sending shard's wire
+// stages frames into pend (instead of arming a local timer), and the
+// receiving shard's mirror chain delivers them after the exchange. The
+// mirror reuses the link's global wire priority, so delivery order is
+// exactly what a single-shard run would execute.
+type xlink struct {
+	pend   []wireEnt
+	mirror wire
+}
+
+// Cluster is a partitioned network: one shard Network per engine.
+type Cluster struct {
+	Topo   *topo.Topology
+	Assign []int      // NodeID -> shard index
+	Nets   []*Network // one per shard
+
+	flows  []*Flow // shared flow table; [0] is the nil sentinel
+	sealed bool
+	xlinks []*xlink // in global directed-port order (determinism)
+}
+
+// NewCluster builds k shard networks over one topology. base supplies
+// everything but Engine, Stats and Shard, which are set per shard.
+// assign must come from a partition that never cuts a host-ToR link
+// (topo.Partition guarantees this).
+func NewCluster(base Config, engines []*sim.Engine, collectors []*stats.Collector, assign []int) *Cluster {
+	k := len(engines)
+	if k < 1 || len(collectors) != k {
+		panic("device: NewCluster needs one engine and one collector per shard")
+	}
+	if len(assign) != len(base.Topo.Nodes) {
+		panic("device: shard assignment length must match node count")
+	}
+	c := &Cluster{
+		Topo:   base.Topo,
+		Assign: assign,
+		Nets:   make([]*Network, k),
+		flows:  []*Flow{nil},
+	}
+	for i := 0; i < k; i++ {
+		cfg := base
+		cfg.Engine = engines[i]
+		cfg.Stats = collectors[i]
+		cfg.Shard = &ShardSpec{Index: i, Assign: assign}
+		c.Nets[i] = New(cfg)
+	}
+	// Wire up the shard-crossing links, in directed-port order.
+	for _, node := range c.Topo.Nodes {
+		for pi := range node.Ports {
+			pt := &node.Ports[pi]
+			s, d := assign[node.ID], assign[pt.Peer]
+			if s == d {
+				continue
+			}
+			if node.Kind == topo.HostNode || c.Topo.Node(pt.Peer).Kind == topo.HostNode {
+				panic(fmt.Sprintf("device: host link %d-%d crosses shard boundary", node.ID, pt.Peer))
+			}
+			xl := &xlink{}
+			w := c.Nets[s].wireOf(node.ID, pi)
+			w.staged = xl
+			xl.mirror.init(c.Nets[d], pt.Peer, pt.PeerPort, w.pri)
+			c.xlinks = append(c.xlinks, xl)
+		}
+	}
+	return c
+}
+
+// K returns the shard count.
+func (c *Cluster) K() int { return len(c.Nets) }
+
+// AddFlow registers a flow from src to dst starting at the given time.
+// Flows must be added in a fixed global order before SealFlows: the
+// FlowID sequence and each shard's injection order are part of the
+// deterministic contract.
+func (c *Cluster) AddFlow(src, dst packet.NodeID, size units.ByteSize, start units.Time, cat packet.Category) *Flow {
+	if c.sealed {
+		panic("device: AddFlow after SealFlows")
+	}
+	if src == dst {
+		panic("device: flow with src == dst")
+	}
+	if size <= 0 {
+		panic("device: flow with non-positive size")
+	}
+	if n := len(c.flows); n > 1 && start < c.flows[n-1].Start {
+		panic("device: AddFlow starts must be non-decreasing (sort specs by Start)")
+	}
+	sn := c.Nets[c.Assign[src]]
+	sh := sn.HostsByID[src]
+	dh := c.Nets[c.Assign[dst]].HostsByID[dst]
+	if sh == nil || dh == nil {
+		panic(fmt.Sprintf("device: flow endpoints must be hosts (%d -> %d)", src, dst))
+	}
+	id := packet.FlowID(len(c.flows))
+	env := cc.Env{
+		LinkRate: sh.port.Rate,
+		BaseRTT:  sn.Cfg.BaseRTT,
+		BDP:      units.BDP(sh.port.Rate, sn.Cfg.BaseRTT),
+	}
+	f := &Flow{
+		ID: id, Src: src, Dst: dst, Size: size, Cat: cat,
+		Start: start, ctrl: sn.Cfg.CC(env), net: sn,
+	}
+	c.flows = append(c.flows, f)
+	return f
+}
+
+// flowInjector walks one shard's share of the flow table (sources owned
+// by the shard, in global registration order) and starts each flow at
+// its Start time. One chained PriStart event per shard keeps the event
+// queue shallow no matter how many flows are registered — the same
+// progressive-injection idea the old exp.Run loop used, made
+// partition-invariant: starts run before any same-timestamp wire
+// delivery or timer, in global spec order within each shard.
+type flowInjector struct {
+	net   *Network
+	flows []*Flow
+	idx   int
+}
+
+func flowInjectFn(a any) {
+	in := a.(*flowInjector)
+	now := in.net.Eng.Now()
+	for in.idx < len(in.flows) && in.flows[in.idx].Start <= now {
+		f := in.flows[in.idx]
+		in.idx++
+		in.net.HostsByID[f.Src].startFlow(f)
+	}
+	if in.idx < len(in.flows) {
+		in.net.Eng.AtArgPri(in.flows[in.idx].Start, flowInjectFn, in, sim.PriStart)
+	}
+}
+
+// SealFlows publishes the shared flow table to every shard and arms the
+// per-shard injection chains. Call after the last AddFlow and before
+// running; flow lookups on any shard then resolve against the same
+// (immutable) slice.
+func (c *Cluster) SealFlows() {
+	c.sealed = true
+	for _, n := range c.Nets {
+		n.flows = c.flows
+	}
+	for si, n := range c.Nets {
+		var own []*Flow
+		for _, f := range c.flows[1:] {
+			if c.Assign[f.Src] == si {
+				own = append(own, f)
+			}
+		}
+		if len(own) == 0 {
+			continue
+		}
+		in := &flowInjector{net: n, flows: own}
+		n.Eng.AtArgPri(own[0].Start, flowInjectFn, in, sim.PriStart)
+	}
+}
+
+// Flows returns all registered flows (reporting helper).
+func (c *Cluster) Flows() []*Flow { return c.flows[1:] }
+
+// InstallFaults arms the plan on every shard; each schedules only the
+// sub-events touching its own devices (see faults.go).
+func (c *Cluster) InstallFaults(p *fault.Plan, seed uint64) {
+	for _, n := range c.Nets {
+		n.InstallFaults(p, seed)
+	}
+}
+
+// ExchangeFrames drains every cross-shard mailbox into its mirror
+// chain, in global directed-port order. Call only at a barrier, with
+// every engine stopped at the same time u: staged arrivals are then
+// strictly in each receiver's future (the conservative-lookahead
+// guarantee), so the mirror pushes never schedule into the past.
+// Returns the number of frames moved.
+func (c *Cluster) ExchangeFrames() int {
+	moved := 0
+	for _, xl := range c.xlinks {
+		if len(xl.pend) == 0 {
+			continue
+		}
+		for i := range xl.pend {
+			ent := xl.pend[i]
+			xl.pend[i] = wireEnt{}
+			xl.mirror.push(ent.at, ent.p)
+		}
+		moved += len(xl.pend)
+		xl.pend = xl.pend[:0]
+	}
+	return moved
+}
+
+// NextAt returns the earliest queued event time across all shards.
+// Valid only at a barrier after ExchangeFrames (so no frame is hiding
+// in a mailbox); the result is then partition-invariant, because the
+// union of the shards' queues is the same global event multiset a
+// single-shard run holds.
+func (c *Cluster) NextAt() (units.Time, bool) {
+	var min units.Time
+	ok := false
+	for _, n := range c.Nets {
+		if at, ok2 := n.Eng.NextAt(); ok2 && (!ok || at < min) {
+			min, ok = at, true
+		}
+	}
+	return min, ok
+}
+
+// DeliveredBytes sums delivered payload over the shards.
+func (c *Cluster) DeliveredBytes() units.ByteSize {
+	var b units.ByteSize
+	for _, n := range c.Nets {
+		b += n.DeliveredBytes()
+	}
+	return b
+}
+
+// Processed sums executed events over the shard engines.
+func (c *Cluster) Processed() uint64 {
+	var p uint64
+	for _, n := range c.Nets {
+		p += n.Eng.Processed
+	}
+	return p
+}
+
+// FaultStats aggregates the shards' fault counters (field-wise sums;
+// each counter is counted on exactly one shard).
+func (c *Cluster) FaultStats() FaultStats {
+	var fs FaultStats
+	for _, n := range c.Nets {
+		s := n.FaultStats()
+		fs.LinkEvents += s.LinkEvents
+		fs.LinksDown += s.LinksDown
+		fs.Restarts += s.Restarts
+		fs.Resyncs += s.Resyncs
+	}
+	return fs
+}
+
+// StallSnapshot aggregates the shards' stall-relevant state.
+func (c *Cluster) StallSnapshot() StallSnapshot {
+	var ss StallSnapshot
+	for _, n := range c.Nets {
+		s := n.StallSnapshot()
+		ss.DeliveredBytes += s.DeliveredBytes
+		ss.ExhaustedWindows += s.ExhaustedWindows
+		ss.WindowDeficit += s.WindowDeficit
+		ss.ParkedBytes += s.ParkedBytes
+		ss.PausedSwitchPorts += s.PausedSwitchPorts
+		ss.PausedHosts += s.PausedHosts
+		ss.LinksDown += s.LinksDown
+	}
+	return ss
+}
+
+// Finalize closes still-open statistics intervals on every shard.
+func (c *Cluster) Finalize() {
+	for _, n := range c.Nets {
+		n.Finalize()
+	}
+}
+
+// MergedStats folds shards 1..k-1 into shard 0's collector and returns
+// it. Call once, after the run completes.
+func (c *Cluster) MergedStats() *stats.Collector {
+	agg := c.Nets[0].Stats
+	for _, n := range c.Nets[1:] {
+		agg.Merge(n.Stats)
+	}
+	return agg
+}

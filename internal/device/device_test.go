@@ -29,7 +29,7 @@ func sizedCfg(hostsPerToR int) Config {
 		Topo:   tp,
 		Engine: sim.NewEngine(),
 		Stats:  stats.NewCollector(10 * units.Microsecond),
-		Rand:   sim.NewRand(1),
+		Seed:   1,
 	}
 }
 

@@ -28,16 +28,48 @@ type geChain struct {
 	rnd sim.Rand
 }
 
-// faultEvArg is the prebuilt argument for one scheduled fault event
-// (capture-free engine callback, as everywhere on the hot path).
-type faultEvArg struct {
-	n  *Network
-	ev fault.Event
+// Fault events decompose into per-endpoint sub-events at install time,
+// so that under the sharded executor each shard schedules exactly the
+// sub-events touching its own devices. All sub-events run at priority
+// sim.PriFault (before any same-timestamp wire delivery or timer) and
+// are installed in plan order, so each shard executes the plan-order
+// subsequence it owns — the same relative order a single-shard run
+// executes. Each sub-event reads and writes only its own endpoint's
+// state, which is what makes the decomposition partition-invariant.
+
+// linkHalfArg applies one endpoint's side of a link transition.
+type linkHalfArg struct {
+	n       *Network
+	node    packet.NodeID // endpoint this half updates
+	port    int           // node's port toward the other endpoint
+	up      bool
+	primary bool // the Link.A half counts the transition once
 }
 
-func faultEventFn(a any) {
-	arg := a.(*faultEvArg)
-	arg.n.applyFault(arg.ev)
+func linkHalfFn(a any) { arg := a.(*linkHalfArg); arg.n.applyLinkHalf(arg) }
+
+// restartArg executes a switch restart's own-state teardown.
+type restartArg struct {
+	n  *Network
+	id packet.NodeID
+}
+
+func restartFn(a any) { arg := a.(*restartArg); arg.n.restartSwitch(arg.id) }
+
+// nudgeArg resynchronizes one neighbor of a restarted switch.
+type nudgeArg struct {
+	n    *Network
+	peer packet.NodeID
+	port int // peer's port toward the restarted switch
+}
+
+func nudgeFn(a any) {
+	arg := a.(*nudgeArg)
+	if psw := arg.n.Switches[arg.peer]; psw != nil {
+		psw.onPeerReset(arg.port)
+		return
+	}
+	arg.n.HostsByID[arg.peer].onPeerReset()
 }
 
 // faultState is the network's mutable fault-plane state.
@@ -45,17 +77,18 @@ type faultState struct {
 	plan      *fault.Plan
 	linkUp    [][]bool // [node][port]: port's link is in service
 	ge        [][]geChain
-	args      []faultEvArg
-	downPorts int // directed ports currently out of service
+	downPorts int // own directed ports currently out of service
 
-	linkEvents int // link state transitions applied
-	linksDown  int // bidirectional links currently down
+	linkEvents int // link state transitions applied (primary halves)
+	linksDown  int // bidirectional links currently down (primary halves)
 	restarts   int // switch restarts applied
 }
 
 // InstallFaults arms a fault plan on the network: validates it, builds
-// the runtime link/loss state, and schedules every event on the engine.
-// Call once, after New and before Run. A nil plan is a no-op.
+// the runtime link/loss state, and schedules the sub-events whose
+// devices this network owns. Call once, after New and before Run. A
+// nil plan is a no-op. Under the sharded executor every shard installs
+// the same plan; ownership gates which sub-events each one schedules.
 func (n *Network) InstallFaults(p *fault.Plan, seed uint64) {
 	if p == nil {
 		return
@@ -76,30 +109,55 @@ func (n *Network) InstallFaults(p *fault.Plan, seed uint64) {
 		}
 		f.linkUp[node.ID] = up
 		chains := make([]geChain, len(node.Ports))
-		if p.Burst != nil && node.Kind == topo.SwitchNode {
+		if p.Burst != nil && node.Kind == topo.SwitchNode && n.owns(node.ID) {
 			for i := range node.Ports {
 				pt := &node.Ports[i]
 				if n.Topo.Node(pt.Peer).Kind != topo.SwitchNode || !p.BurstApplies(node.ID, pt.Peer) {
 					continue
 				}
+				// Seeded from (run seed, node, port) alone — never from a
+				// shared stream — so chains are identical at any shard count.
 				mix := uint64(node.ID)<<20 | uint64(i)
 				chains[i] = geChain{on: true, rnd: *sim.NewRand(seed ^ mix*0x9e3779b97f4a7c15)}
 			}
 		}
 		f.ge[node.ID] = chains
 	}
-	evs := p.SortedEvents()
-	f.args = make([]faultEvArg, len(evs))
-	for i, ev := range evs {
+	for _, ev := range p.SortedEvents() {
 		n.mustResolveEvent(ev)
-		f.args[i] = faultEvArg{n: n, ev: ev}
-		n.Eng.AtArg(ev.At, faultEventFn, &f.args[i])
+		switch ev.Kind {
+		case fault.LinkDown, fault.LinkUp:
+			up := ev.Kind == fault.LinkUp
+			if n.owns(ev.Link.A) {
+				arg := &linkHalfArg{n: n, node: ev.Link.A, port: n.portTo(ev.Link.A, ev.Link.B), up: up, primary: true}
+				n.Eng.AtArgPri(ev.At, linkHalfFn, arg, sim.PriFault)
+			}
+			if n.owns(ev.Link.B) {
+				arg := &linkHalfArg{n: n, node: ev.Link.B, port: n.portTo(ev.Link.B, ev.Link.A), up: up}
+				n.Eng.AtArgPri(ev.At, linkHalfFn, arg, sim.PriFault)
+			}
+		case fault.SwitchRestart:
+			if n.owns(ev.Node) {
+				n.Eng.AtArgPri(ev.At, restartFn, &restartArg{n: n, id: ev.Node}, sim.PriFault)
+			}
+			// Neighbor nudges are their own sub-events (a neighbor may
+			// live on another shard); they touch only the neighbor's
+			// state, so they commute with the restart body.
+			ports := n.Topo.Node(ev.Node).Ports
+			for pi := range ports {
+				pt := &ports[pi]
+				if n.owns(pt.Peer) {
+					n.Eng.AtArgPri(ev.At, nudgeFn, &nudgeArg{n: n, peer: pt.Peer, port: pt.PeerPort}, sim.PriFault)
+				}
+			}
+		}
 	}
 	n.faults = f
 }
 
 // mustResolveEvent panics early (at install, not mid-run) when an event
-// names a link or switch the topology does not have.
+// names a link or switch the topology does not have. Resolution is
+// topology-based so every shard applies the same validation.
 func (n *Network) mustResolveEvent(ev fault.Event) {
 	switch ev.Kind {
 	case fault.LinkDown, fault.LinkUp:
@@ -107,7 +165,7 @@ func (n *Network) mustResolveEvent(ev fault.Event) {
 			panic(fmt.Sprintf("device: fault plan names nonexistent link %v", ev.Link))
 		}
 	case fault.SwitchRestart:
-		if int(ev.Node) >= len(n.Switches) || n.Switches[ev.Node] == nil {
+		if int(ev.Node) >= len(n.Topo.Nodes) || n.Topo.Node(ev.Node).Kind != topo.SwitchNode {
 			panic(fmt.Sprintf("device: fault plan restarts non-switch node %d", ev.Node))
 		}
 	}
@@ -214,44 +272,35 @@ func (n *Network) dropOnWire(node packet.NodeID, p *packet.Packet) {
 	n.Recycle(p)
 }
 
-// applyFault executes one scheduled event.
-func (n *Network) applyFault(ev fault.Event) {
-	switch ev.Kind {
-	case fault.LinkDown:
-		n.setLinkState(ev.Link, false)
-	case fault.LinkUp:
-		n.setLinkState(ev.Link, true)
-	case fault.SwitchRestart:
-		n.restartSwitch(ev.Node)
-	}
-}
-
-// setLinkState transitions a bidirectional link. Link-up additionally
-// clears PFC pause state on both endpoints: a pause (or the resume that
-// should have ended it) may have been lost with the link, and PFC state
-// is conservative and re-derivable, so forgetting it cannot deadlock —
-// at worst the peer re-pauses on the next threshold crossing.
-func (n *Network) setLinkState(l fault.Link, up bool) {
+// applyLinkHalf transitions one endpoint's view of a bidirectional
+// link. Link-up additionally clears PFC pause state on the endpoint: a
+// pause (or the resume that should have ended it) may have been lost
+// with the link, and PFC state is conservative and re-derivable, so
+// forgetting it cannot deadlock — at worst the peer re-pauses on the
+// next threshold crossing. The Link.A half counts the transition, so
+// aggregated counters match the old whole-link accounting.
+func (n *Network) applyLinkHalf(a *linkHalfArg) {
 	f := n.faults
-	pa := n.portTo(l.A, l.B)
-	pb := n.portTo(l.B, l.A)
-	if f.linkUp[l.A][pa] == up {
-		return
+	if f.linkUp[a.node][a.port] == a.up {
+		return // redundant plan event; both halves agree and skip
 	}
-	f.linkUp[l.A][pa] = up
-	f.linkUp[l.B][pb] = up
-	f.linkEvents++
-	n.Metrics.FaultLinkEvents.Inc()
-	if up {
-		f.downPorts -= 2
-		f.linksDown--
-		n.Metrics.FaultLinksDown.Add(-1)
-		n.clearPortPause(l.A, pa)
-		n.clearPortPause(l.B, pb)
+	f.linkUp[a.node][a.port] = a.up
+	if a.primary {
+		f.linkEvents++
+		n.Metrics.FaultLinkEvents.Inc()
+		if a.up {
+			f.linksDown--
+			n.Metrics.FaultLinksDown.Add(-1)
+		} else {
+			f.linksDown++
+			n.Metrics.FaultLinksDown.Add(1)
+		}
+	}
+	if a.up {
+		f.downPorts--
+		n.clearPortPause(a.node, a.port)
 	} else {
-		f.downPorts += 2
-		f.linksDown++
-		n.Metrics.FaultLinksDown.Add(1)
+		f.downPorts++
 	}
 }
 
@@ -269,9 +318,10 @@ func (n *Network) clearPortPause(id packet.NodeID, port int) {
 // restartSwitch models a switch losing all soft state: every queued
 // frame is dropped, PFC bookkeeping is forgotten, and the flow-control
 // module is reinitialized (via its Restarter hook when it has one, else
-// rebuilt from the factory). Neighbors are then nudged so their
-// per-link state toward the restarted switch resynchronizes. The frame
-// mid-serialization, if any, survives — it is already on the wire.
+// rebuilt from the factory). Neighbors resynchronize through separate
+// nudge sub-events (scheduled at install time on their own shards; see
+// InstallFaults). The frame mid-serialization, if any, survives — it
+// is already on the wire.
 func (n *Network) restartSwitch(id packet.NodeID) {
 	s := n.Switches[id]
 	f := n.faults
@@ -322,16 +372,6 @@ func (n *Network) restartSwitch(id packet.NodeID) {
 		r.Restart()
 	} else if n.Cfg.FC != nil {
 		s.fc = n.Cfg.FC(s)
-	}
-
-	// Nudge the neighbors: pause state they hold on our behalf is stale.
-	for i := range s.node.Ports {
-		pt := &s.node.Ports[i]
-		if psw := n.Switches[pt.Peer]; psw != nil {
-			psw.onPeerReset(pt.PeerPort)
-		} else {
-			n.HostsByID[pt.Peer].onPeerReset()
-		}
 	}
 }
 

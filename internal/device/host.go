@@ -152,7 +152,7 @@ func newHost(n *Network, node *topo.Node) *Host {
 		pausedDst:   make(map[packet.NodeID]bool),
 		pausedFlows: make(map[packet.FlowID]bool),
 	}
-	h.wire.init(n, h.port.Peer, h.port.PeerPort)
+	h.wire.init(n, h.port.Peer, h.port.PeerPort, n.wirePri(node.ID, 0))
 	return h
 }
 
@@ -333,11 +333,23 @@ func (h *Host) finalizePFC() {
 func (h *Host) receiveData(p *packet.Packet, now units.Time) {
 	h.net.TraceEvent(trace.OpDeliver, h.node.ID, p)
 	f := h.net.flow(p.Flow)
-	if f == nil || f.done {
+	if f == nil {
 		return
 	}
 	if h.net.Cfg.NDP.Enable {
-		h.receiveDataNDP(f, p, now)
+		if !f.done {
+			h.receiveDataNDP(f, p, now)
+		}
+		return
+	}
+	if f.done {
+		// Straggler or retransmitted segment after completion: re-ACK so
+		// a sender whose final cumulative ACK was lost stops rewinding.
+		// (The sender may live on another shard and cannot peek at
+		// receiver state, so silence would loop its RTO forever.)
+		ack := h.net.NewCtrl(packet.Ack, f.ID, h.node.ID, f.Src)
+		ack.AckSeq = f.rcvNxt
+		h.sendCtrl(ack)
 		return
 	}
 	// Go-back-N receiver: in-order delivery only.
@@ -506,7 +518,10 @@ func (h *Host) serviceRTO() {
 		h.rtoQ[h.rtoHead] = nil
 		h.rtoHead++
 		f.inRtoQ = false
-		if f.senderDone || f.done {
+		// senderDone alone gates here: done is receiver-side state, which
+		// may live on another shard. A sender that never saw its final
+		// ACK retransmits and the receiver re-ACKs (see receiveData).
+		if f.senderDone {
 			continue
 		}
 		// Stalled: rewind and retransmit.

@@ -8,7 +8,6 @@ import (
 	"floodgate/internal/cc/hpcc"
 	"floodgate/internal/cc/timely"
 	"floodgate/internal/packet"
-	"floodgate/internal/sim"
 	"floodgate/internal/stats"
 	"floodgate/internal/topo"
 	"floodgate/internal/trace"
@@ -219,7 +218,7 @@ func TestEngineSeedIndependence(t *testing.T) {
 	// outcomes: both runs complete all flows.
 	for _, seed := range []uint64{1, 99} {
 		cfg := sizedCfg(4)
-		cfg.Rand = sim.NewRand(seed)
+		cfg.Seed = seed
 		cfg.ECN = ECNConfig{Enable: true, KMin: 10 * units.KB, KMax: 40 * units.KB, PMax: 0.5}
 		cfg.CC = dctcp.Default()
 		n := New(cfg)

@@ -45,12 +45,30 @@ type NDPConfig struct {
 	TrimThresh units.ByteSize // egress backlog above which payloads are trimmed
 }
 
+// ShardSpec restricts a Network to one shard of a partitioned
+// topology (see Cluster). Assign maps NodeID to shard index; the
+// Network builds devices only for nodes assigned to Index. A nil
+// ShardSpec means the Network owns the whole topology.
+type ShardSpec struct {
+	Index  int
+	Assign []int
+}
+
 // Config assembles a simulation.
 type Config struct {
 	Topo   *topo.Topology
 	Engine *sim.Engine
 	Stats  *stats.Collector
-	Rand   *sim.Rand
+
+	// Seed feeds every device-layer PRNG (per-switch ECN/loss draws,
+	// fault-plane Gilbert–Elliott chains). Each consumer derives its
+	// own stream from (Seed, node ID), so draws are independent of
+	// event interleaving and of how the topology is sharded.
+	Seed uint64
+
+	// Shard, when non-nil, builds only one shard's devices (the
+	// sharded executor wires the shards together; see cluster.go).
+	Shard *ShardSpec
 
 	BufferSize units.ByteSize // per-switch shared buffer (default 20MB)
 	PFC        PFCConfig
@@ -128,8 +146,8 @@ func (c *Config) defaults() {
 	if c.CC == nil {
 		c.CC = cc.NewFixedWindow()
 	}
-	if c.Rand == nil {
-		c.Rand = sim.NewRand(1)
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	if c.Stats == nil {
 		c.Stats = stats.NewCollector(10 * units.Microsecond)
@@ -143,8 +161,13 @@ type Network struct {
 	Eng     *sim.Engine
 	Stats   *stats.Collector
 	Metrics NetMetrics
-	rand    *sim.Rand
 	nextID  uint64
+
+	// dirBase[id] is the number of directed ports owned by nodes with
+	// smaller IDs: wire delivery priorities are PriWireBase + dirBase
+	// [owner] + port index, giving every directed link a globally
+	// unique same-timestamp priority (partition-invariant ordering).
+	dirBase []uint32
 
 	Switches  []*Switch // indexed by NodeID (nil for hosts)
 	HostsByID []*Host   // indexed by NodeID (nil for switches)
@@ -175,15 +198,31 @@ func New(cfg Config) *Network {
 		Eng:       cfg.Engine,
 		Stats:     cfg.Stats,
 		Metrics:   cfg.Metrics,
-		rand:      cfg.Rand,
 		Switches:  make([]*Switch, len(cfg.Topo.Nodes)),
 		HostsByID: make([]*Host, len(cfg.Topo.Nodes)),
 		flows:     []*Flow{nil}, // FlowID 0 is unused
+	}
+	if sp := cfg.Shard; sp != nil {
+		// Distinct pktID streams per shard (ids are debug/trace labels;
+		// uniqueness, not density, is what matters).
+		n.nextID = uint64(sp.Index) << 56
+	}
+	n.dirBase = make([]uint32, len(cfg.Topo.Nodes))
+	var dirCnt uint32
+	for _, node := range cfg.Topo.Nodes {
+		n.dirBase[node.ID] = dirCnt
+		dirCnt += uint32(len(node.Ports))
+	}
+	if uint64(sim.PriWireBase)+uint64(dirCnt) >= uint64(sim.PriTimer) {
+		panic("device: topology has too many directed ports for wire priorities")
 	}
 	if n.Cfg.BaseRTT == 0 {
 		n.Cfg.BaseRTT = n.deriveBaseRTT()
 	}
 	for _, node := range cfg.Topo.Nodes {
+		if !n.owns(node.ID) {
+			continue
+		}
 		if node.Kind == topo.SwitchNode {
 			n.Switches[node.ID] = newSwitch(n, node)
 		} else {
@@ -229,10 +268,32 @@ func (n *Network) deriveBaseRTT() units.Duration {
 // BaseRTT returns the flow-level base RTT in use.
 func (n *Network) BaseRTT() units.Duration { return n.Cfg.BaseRTT }
 
-// BaseBDP returns host line rate × base RTT for the first host.
+// BaseBDP returns host line rate × base RTT for the topology's first
+// host. Derived from the topology (not the shard's own host list) so
+// every shard computes the same value.
 func (n *Network) BaseBDP() units.ByteSize {
-	h := n.Hosts[0]
-	return units.BDP(h.port.Rate, n.Cfg.BaseRTT)
+	p := &n.Topo.Node(n.Topo.Hosts[0]).Ports[0]
+	return units.BDP(p.Rate, n.Cfg.BaseRTT)
+}
+
+// owns reports whether this network builds the device for a node.
+func (n *Network) owns(id packet.NodeID) bool {
+	s := n.Cfg.Shard
+	return s == nil || s.Assign[id] == s.Index
+}
+
+// wirePri is the engine priority of the directed link (owner, port).
+func (n *Network) wirePri(owner packet.NodeID, port int) uint32 {
+	return sim.PriWireBase + n.dirBase[owner] + uint32(port)
+}
+
+// wireOf returns the in-flight chain of the directed link (owner,
+// port); the owner must be built on this shard.
+func (n *Network) wireOf(owner packet.NodeID, port int) *wire {
+	if sw := n.Switches[owner]; sw != nil {
+		return &sw.out[port].wire
+	}
+	return &n.HostsByID[owner].wire
 }
 
 // pktID mints a unique packet id.

@@ -4,6 +4,7 @@ package device
 
 import (
 	"floodgate/internal/packet"
+	"floodgate/internal/sim"
 	"floodgate/internal/stats"
 	"floodgate/internal/topo"
 	"floodgate/internal/trace"
@@ -57,6 +58,13 @@ type Switch struct {
 	node *topo.Node
 	fc   FlowControl
 
+	// rnd drives this switch's probabilistic draws (RED marking, loss
+	// injection). Seeded from (Config.Seed, node ID) rather than shared
+	// network-wide, so each switch consumes an independent stream and
+	// draw sequences do not depend on cross-switch event interleaving —
+	// the property that keeps sharded runs bit-identical.
+	rnd sim.Rand
+
 	out     []outPort
 	used    units.ByteSize   // shared buffer occupancy (data only)
 	ingress []units.ByteSize // per ingress port occupancy (PFC accounting)
@@ -74,6 +82,7 @@ func newSwitch(n *Network, node *topo.Node) *Switch {
 		net:            n,
 		node:           node,
 		fc:             nopFC{},
+		rnd:            *sim.NewRand(n.Cfg.Seed ^ uint64(node.ID)*0x9e3779b97f4a7c15),
 		out:            make([]outPort, len(node.Ports)),
 		ingress:        make([]units.ByteSize, len(node.Ports)),
 		pausedUpstream: make([]bool, len(node.Ports)),
@@ -86,7 +95,7 @@ func newSwitch(n *Network, node *topo.Node) *Switch {
 		o.tp = &node.Ports[i]
 		o.data = make([]fifo, n.Cfg.QueuesPerPort)
 		o.sw = sw
-		o.wire.init(n, o.tp.Peer, o.tp.PeerPort)
+		o.wire.init(n, o.tp.Peer, o.tp.PeerPort, n.wirePri(node.ID, i))
 	}
 	return sw
 }
@@ -256,7 +265,7 @@ func (s *Switch) maybeMark(p *packet.Packet, out int) {
 		s.net.Metrics.ECNMarks.Inc()
 	default:
 		prob := cfg.PMax * float64(q-cfg.KMin) / float64(cfg.KMax-cfg.KMin)
-		if s.net.rand.Float64() < prob {
+		if s.rnd.Float64() < prob {
 			p.ECN = true
 			s.net.Metrics.ECNMarks.Inc()
 		}
@@ -439,7 +448,7 @@ func (s *Switch) transmit(p *packet.Packet, i, queue int) {
 
 	// Loss injection between switches: data and credits at LossRate,
 	// credits additionally at CreditLossRate (Fig 12's isolated stress).
-	if lr := s.lossRateFor(p.Kind); lr > 0 && s.PortFacesSwitch(i) && n.rand.Float64() < lr {
+	if lr := s.lossRateFor(p.Kind); lr > 0 && s.PortFacesSwitch(i) && s.rnd.Float64() < lr {
 		n.dropOnWire(s.node.ID, p)
 		return
 	}

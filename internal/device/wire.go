@@ -23,6 +23,17 @@ type wire struct {
 	peer     packet.NodeID
 	peerPort int
 
+	// pri is the link's engine priority (PriWireBase + global directed-
+	// port index): every directed link delivers under its own same-
+	// timestamp priority, so equal-time deliveries on different links
+	// order identically at any shard count.
+	pri uint32
+
+	// staged, when non-nil, marks the peer as living on another shard:
+	// pushes divert into the cross-shard mailbox instead of arming a
+	// local timer (see cluster.go).
+	staged *xlink
+
 	buf   []wireEnt
 	head  int
 	count int
@@ -33,10 +44,11 @@ type wireEnt struct {
 	p  *packet.Packet
 }
 
-func (w *wire) init(n *Network, peer packet.NodeID, peerPort int) {
+func (w *wire) init(n *Network, peer packet.NodeID, peerPort int, pri uint32) {
 	w.net = n
 	w.peer = peer
 	w.peerPort = peerPort
+	w.pri = pri
 }
 
 // wireDeliverFn delivers the chain head. Re-arming happens before the
@@ -47,16 +59,22 @@ func wireDeliverFn(a any) {
 	w := a.(*wire)
 	p := w.pop()
 	if w.count > 0 {
-		w.net.Eng.AtArg(w.buf[w.head].at, wireDeliverFn, w)
+		w.net.Eng.AtArgPri(w.buf[w.head].at, wireDeliverFn, w, w.pri)
 	}
 	w.net.deliver(w.peer, p, w.peerPort)
 }
 
 // push appends a frame arriving at `at` (≥ every arrival already
-// queued), arming the delivery timer if the chain was idle.
+// queued), arming the delivery timer if the chain was idle. A wire
+// whose peer lives on another shard stages instead: the frame is
+// handed to the peer shard's mirror chain at the next barrier.
 func (w *wire) push(at units.Time, p *packet.Packet) {
+	if w.staged != nil {
+		w.staged.pend = append(w.staged.pend, wireEnt{at, p})
+		return
+	}
 	if w.count == 0 {
-		w.net.Eng.AtArg(at, wireDeliverFn, w)
+		w.net.Eng.AtArgPri(at, wireDeliverFn, w, w.pri)
 	}
 	if w.count == len(w.buf) {
 		w.grow()

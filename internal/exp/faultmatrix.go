@@ -127,14 +127,14 @@ func faultTables(scs []faultScenario, o Options) []Table {
 			Faults: sc.plan(tp, dur),
 			Drain:  10 * dur,
 		})
-		fs := res.Net.FaultStats()
+		fs := res.FaultStats()
 		stalled := fmt.Sprintf("%t", res.Stalled)
 		if res.Stalled {
 			stalled = "STALLED"
 		}
 		return []string{sc.name, s.Name,
 			fmt.Sprintf("%d/%d", res.Completed, res.Total),
-			fmtRate(units.Rate(res.Net.DeliveredBytes(), dur)),
+			fmtRate(units.Rate(res.DeliveredBytes(), dur)),
 			fmt.Sprintf("%d", fs.LinkEvents),
 			fmt.Sprintf("%d", fs.Restarts),
 			fmt.Sprintf("%d", fs.Resyncs),

@@ -38,6 +38,11 @@ type Options struct {
 	// global heap. Both execute events in the identical order, so every
 	// table is bit-identical across the choice (see sched_test.go).
 	Scheduler sim.Scheduler
+	// Shards splits each run's topology into this many partitions, one
+	// engine per partition, advanced in conservative lookahead windows
+	// (see shardexec.go and DESIGN.md §10). 0 and 1 both mean a single
+	// unsharded engine. Output is bit-identical at every shard count.
+	Shards int
 }
 
 // DefaultOptions returns a laptop-friendly scale.
@@ -54,6 +59,14 @@ func (o Options) norm() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// shards normalises the shard count (0 means unsharded).
+func (o Options) shards() int {
+	if o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
 }
 
 // hostsPerToR maps scale to rack width (paper: 16). The floor of 6
@@ -190,14 +203,27 @@ func (rc RunConfig) Validate() error {
 			return err
 		}
 	}
+	if rc.Opt.Shards < 0 {
+		return fmt.Errorf("exp: Options.Shards must be non-negative, got %d", rc.Opt.Shards)
+	}
+	if rc.Opt.Obs.Enabled() && rc.Opt.shards() > 1 {
+		return fmt.Errorf("exp: Obs requires Shards <= 1 (the sampler and trace ring are single-engine)")
+	}
 	return nil
 }
 
 // RunResult carries the collector plus run metadata.
 type RunResult struct {
-	Scheme    string
-	Stats     *stats.Collector
-	Net       *device.Network
+	Scheme string
+	// Stats is the (shard-merged) collector; at Shards <= 1 it is simply
+	// the run's only collector.
+	Stats *stats.Collector
+	// Net is shard 0's network: at Shards <= 1 it is the whole
+	// simulation (the historical API). Sharded aggregates live on
+	// Cluster and the RunResult helpers below.
+	Net     *device.Network
+	Cluster *device.Cluster
+
 	Duration  units.Duration // workload window
 	Completed int
 	Total     int
@@ -207,6 +233,15 @@ type RunResult struct {
 	Stalled   bool
 	Diagnosis *StallDiagnosis
 }
+
+// DeliveredBytes is the payload delivered across every shard.
+func (r *RunResult) DeliveredBytes() units.ByteSize { return r.Cluster.DeliveredBytes() }
+
+// FaultStats aggregates fault counters across every shard.
+func (r *RunResult) FaultStats() device.FaultStats { return r.Cluster.FaultStats() }
+
+// Processed is the executed event count summed over the shard engines.
+func (r *RunResult) Processed() uint64 { return r.Cluster.Processed() }
 
 // Run executes one configured simulation: install the workload, run
 // the workload window plus drain time (stopping early once every flow
@@ -226,22 +261,25 @@ func Run(rc RunConfig) *RunResult {
 	if err := rc.Validate(); err != nil {
 		panic(err)
 	}
-	eng := sim.NewEngineWith(rc.Opt.Scheduler)
+	opt := rc.Opt.norm()
+	k := opt.shards()
 	binW := rc.BinWidth
 	if binW == 0 {
 		binW = 10 * units.Microsecond
 	}
-	col := stats.NewCollector(binW)
+	engines := make([]*sim.Engine, k)
+	collectors := make([]*stats.Collector, k)
+	for i := range engines {
+		engines[i] = sim.NewEngineWith(opt.Scheduler)
+		collectors[i] = stats.NewCollector(binW)
+	}
 	ecn := device.ECNConfig{Enable: rc.Scheme.ECN, KMin: 40 * units.KB, KMax: 160 * units.KB, PMax: 0.2}
 	if rc.ECN != nil {
 		ecn = *rc.ECN
 	}
-	opt := rc.Opt.norm()
 	cfg := device.Config{
 		Topo:           rc.Topo,
-		Engine:         eng,
-		Stats:          col,
-		Rand:           sim.NewRand(rc.Seed ^ 0x5eed),
+		Seed:           rc.Seed ^ 0x5eed,
 		BufferSize:     rc.BufferSize,
 		RTO:            opt.stretch(units.Millisecond),
 		CNPInterval:    opt.stretch(50 * units.Microsecond),
@@ -263,100 +301,59 @@ func Run(rc RunConfig) *RunResult {
 	}
 	// Observability: a private registry, sampler and trace ring per run.
 	// Sampler ticks only read state, so enabling this cannot change the
-	// simulation outcome (see obs.go and DESIGN.md §8).
+	// simulation outcome (see obs.go and DESIGN.md §8). Validate rejects
+	// Obs with Shards > 1, so the single engine here is the whole run.
 	var obs *obsRun
 	if opt.Obs.Enabled() {
-		obs = newObsRun(rc, opt, eng, &cfg)
+		obs = newObsRun(rc, opt, engines[0], &cfg)
 	}
-	net := device.New(cfg)
-	net.InstallFaults(rc.Faults, rc.Seed)
+	cluster := device.NewCluster(cfg, engines, collectors, topo.Partition(rc.Topo, k))
+	cluster.InstallFaults(rc.Faults, rc.Seed)
 	if obs != nil {
 		obs.start()
 	}
 
-	// Flows are injected progressively (not pre-scheduled) so the event
-	// heap stays shallow even for millions of arrivals.
+	// Register the whole workload up front (FlowID = global spec order)
+	// and let the per-shard injection chains start flows at their Start
+	// times; the event queues stay shallow even for millions of
+	// arrivals. Completion is counted per shard (a flow finishes on its
+	// receiver's shard) and aggregated only at barriers.
 	total := len(rc.Specs)
-	remaining := total
-	injected := false
-	net.OnFlowDone = func(*device.Flow, units.Time) {
-		remaining--
-		if remaining == 0 && injected {
-			eng.Stop()
-		}
+	done := make([]int, k)
+	for i, n := range cluster.Nets {
+		i := i
+		n.OnFlowDone = func(*device.Flow, units.Time) { done[i]++ }
 	}
-	specs := rc.Specs
-	idx := 0
-	var inject func()
-	inject = func() {
-		now := eng.Now()
-		for idx < len(specs) && specs[idx].Start <= now {
-			s := specs[idx]
-			net.AddFlow(s.Src, s.Dst, s.Size, now, s.Cat)
-			idx++
-		}
-		if idx < len(specs) {
-			eng.At(specs[idx].Start, inject)
-		} else {
-			injected = true
-			if remaining == 0 {
-				eng.Stop()
-			}
-		}
+	for _, s := range rc.Specs {
+		cluster.AddFlow(s.Src, s.Dst, s.Size, s.Start, s.Cat)
 	}
-	if len(specs) > 0 {
-		eng.At(specs[0].Start, inject)
-	} else {
-		injected = true
+	cluster.SealFlows()
+	doneCount := func() int {
+		d := 0
+		for _, c := range done {
+			d += c
+		}
+		return d
 	}
 
 	drain := rc.Drain
 	if drain == 0 {
 		// DCQCN's additive recovery is slow on the stretched clock;
-		// leave generous room for laggards (the run stops early the
-		// moment every flow completes, so idle drain costs nothing).
+		// leave generous room for laggards (the run stops at the first
+		// barrier after every flow completes, so idle drain is cheap).
 		drain = 4*rc.Duration + 400*units.Millisecond
 	}
 
 	// Progress watchdog: faulted runs can wedge in ways loss-free runs
 	// cannot (dead links, restarted peers), so they get one by default.
+	// Stall detection runs at barriers (see shardexec.go).
 	horizon := rc.StallHorizon
 	if horizon == 0 && rc.Faults != nil {
 		horizon = 4 * cfg.RTO
 	}
-	var stalled bool
-	var diagnosis *StallDiagnosis
-	var wd *sim.Watchdog
-	if horizon > 0 {
-		wd = sim.NewWatchdog(eng, horizon,
-			func() int64 { return int64(net.DeliveredBytes()) },
-			func() {
-				ss := net.StallSnapshot()
-				stalled = true
-				diagnosis = &StallDiagnosis{
-					At:                eng.Now(),
-					Horizon:           horizon,
-					DeliveredBytes:    ss.DeliveredBytes,
-					IncompleteFlows:   remaining,
-					ExhaustedWindows:  ss.ExhaustedWindows,
-					WindowDeficit:     ss.WindowDeficit,
-					ParkedBytes:       ss.ParkedBytes,
-					PausedSwitchPorts: ss.PausedSwitchPorts,
-					PausedHosts:       ss.PausedHosts,
-					LinksDown:         ss.LinksDown,
-				}
-				net.Metrics.WatchdogTrips.Inc()
-				eng.Stop()
-			})
-	}
 
-	net.Run(units.Time(rc.Duration + drain))
-	if wd != nil {
-		// Disarm so a pending tick cannot trip during post-run settling
-		// (tests RunAll the engine after Run to flush in-flight credits).
-		wd.Stop()
-	}
-	net.Finalize()
+	w := runWindows(cluster, units.Time(rc.Duration+drain), horizon, doneCount, total)
+	cluster.Finalize()
 	if obs != nil {
 		if err := obs.export(); err != nil {
 			panic(fmt.Sprintf("exp: observability export failed: %v", err))
@@ -364,13 +361,14 @@ func Run(rc RunConfig) *RunResult {
 	}
 	return &RunResult{
 		Scheme:    rc.Scheme.Name,
-		Stats:     col,
-		Net:       net,
+		Stats:     cluster.MergedStats(),
+		Net:       cluster.Nets[0],
+		Cluster:   cluster,
 		Duration:  rc.Duration,
-		Completed: total - remaining,
+		Completed: doneCount(),
 		Total:     total,
-		Stalled:   stalled,
-		Diagnosis: diagnosis,
+		Stalled:   w.stalled,
+		Diagnosis: w.diagnosis,
 	}
 }
 

@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"runtime"
+	"testing"
+
+	"floodgate/internal/fault"
+	"floodgate/internal/sim"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+)
+
+// TestShardDeterminism is the sharded executor's acceptance gate
+// (DESIGN.md §10): fig2 and fig6 tables must be byte-identical for
+// every combination of shards ∈ {1, 2, 4}, par ∈ {1, 4}, and both
+// event schedulers. The baseline is the fully serial unsharded wheel
+// run; every other cell of the matrix must render the same bytes.
+func TestShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	windowOverride = fullIncastMixDuration / 8
+	defer func() { windowOverride = 0 }()
+
+	for _, fig := range []struct {
+		name string
+		run  func(Options) []Table
+	}{
+		{"fig2", Fig2},
+		{"fig6", Fig6},
+	} {
+		base := Options{Scale: 0.1, Seed: 1, Parallelism: 1, Shards: 1, Scheduler: sim.SchedWheel}
+		want := renderAll(fig.run(base))
+		for _, shards := range []int{1, 2, 4} {
+			for _, par := range []int{1, 4} {
+				for _, sched := range []sim.Scheduler{sim.SchedWheel, sim.SchedHeap} {
+					o := base
+					o.Shards, o.Parallelism, o.Scheduler = shards, par, sched
+					if o == base {
+						continue
+					}
+					if got := renderAll(fig.run(o)); got != want {
+						t.Fatalf("%s: shards=%d par=%d sched=%v diverges from serial unsharded:\n--- want ---\n%s\n--- got ---\n%s",
+							fig.name, shards, par, sched, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardFaultMatrixBitIdentical extends the bit-identity guarantee
+// to the fault plane: the full faultmatrix experiment — link flaps and
+// switch restarts landing on ToR-spine links that cross shard cuts,
+// plus Gilbert–Elliott burst loss — renders byte-identical tables at
+// every shard count.
+func TestShardFaultMatrixBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	windowOverride = fullIncastMixDuration / 8
+	defer func() { windowOverride = 0 }()
+
+	base := Options{Scale: 0.1, Seed: 1, Parallelism: 1, Shards: 1}
+	want := renderAll(FaultMatrix(base))
+	for _, shards := range []int{2, 4} {
+		o := base
+		o.Shards = shards
+		if got := renderAll(FaultMatrix(o)); got != want {
+			t.Fatalf("faultmatrix at shards=%d diverges from unsharded:\n--- want ---\n%s\n--- got ---\n%s",
+				shards, want, got)
+		}
+	}
+}
+
+// dstCrossUplink returns an uplink of the incast destination's ToR
+// whose spine lands on a different shard under Partition(tp, shards) —
+// a link whose flap traffic must cross the cut.
+func dstCrossUplink(t *testing.T, tp *topo.Topology, shards int) fault.Link {
+	t.Helper()
+	a := topo.Partition(tp, shards)
+	tor := dstToR(tp)
+	for i := range tp.Node(tor).Ports {
+		peer := tp.Node(tor).Ports[i].Peer
+		if tp.Node(peer).Kind == topo.SwitchNode && a[peer] != a[tor] {
+			return fault.Link{A: tor, B: peer}
+		}
+	}
+	t.Fatalf("shards=%d: no dst-ToR uplink crosses the cut; test premise broken", shards)
+	panic("unreachable")
+}
+
+// TestShardCrossCutFlapBitIdentical flaps a link that provably crosses
+// the shard cut (chosen against topo.Partition) while its spine
+// restarts and burst loss runs — the storm scenario — and checks the
+// sharded replicas agree with the serial run on every aggregate.
+func TestShardCrossCutFlapBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	o := Options{Scale: 1, Seed: 7}.norm()
+	mk := func(l fault.Link, shards int) RunConfig {
+		tp := faultTestFabric()
+		evs := fault.Flap(l, units.Time(20*units.Microsecond), 20*units.Microsecond, 80*units.Microsecond, 2)
+		evs = append(evs, fault.Event{At: units.Time(150 * units.Microsecond), Kind: fault.SwitchRestart, Node: l.B})
+		opt := o
+		opt.Shards = shards
+		return RunConfig{
+			Topo:     tp,
+			Scheme:   WithFloodgate(o, DCQCN(o), baseBDPOf(tp)),
+			Specs:    faultTestSpecs(tp, o.Seed),
+			Duration: 200 * units.Microsecond,
+			Drain:    400 * units.Millisecond,
+			Seed:     o.Seed,
+			Opt:      opt,
+			Faults:   &fault.Plan{Events: evs, Burst: fault.BurstWithMeanLoss(0.05)},
+		}
+	}
+	for _, shards := range []int{2, 4} {
+		l := dstCrossUplink(t, faultTestFabric(), shards)
+		want := Run(mk(l, 1))
+		if want.Completed != want.Total {
+			t.Fatalf("shards=%d: serial storm run incomplete: %d/%d", shards, want.Completed, want.Total)
+		}
+		got := Run(mk(l, shards))
+		if got.Completed != want.Completed || got.Total != want.Total {
+			t.Fatalf("shards=%d: completion %d/%d != serial %d/%d",
+				shards, got.Completed, got.Total, want.Completed, want.Total)
+		}
+		if got.DeliveredBytes() != want.DeliveredBytes() {
+			t.Fatalf("shards=%d: delivered %v != serial %v", shards, got.DeliveredBytes(), want.DeliveredBytes())
+		}
+		if got.Stats.Drops != want.Stats.Drops || got.Stats.Trims != want.Stats.Trims {
+			t.Fatalf("shards=%d: drops/trims %d/%d != serial %d/%d",
+				shards, got.Stats.Drops, got.Stats.Trims, want.Stats.Drops, want.Stats.Trims)
+		}
+		if got.FaultStats() != want.FaultStats() {
+			t.Fatalf("shards=%d: fault stats %+v != serial %+v", shards, got.FaultStats(), want.FaultStats())
+		}
+	}
+}
+
+// TestShardWatchdogDiagnosesWedgedShard wedges one shard of a sharded
+// run (the incast destination's host link severed at t=0, so its shard
+// never delivers a byte) and checks the barrier-level watchdog trips
+// with the same structured diagnosis, at the same quantized stall
+// time, as the unsharded run.
+func TestShardWatchdogDiagnosesWedgedShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	run := func(shards int) *RunResult {
+		return faultTestRun(t, func(rc *RunConfig) {
+			dst := rc.Topo.Hosts[len(rc.Topo.Hosts)-1]
+			tor := rc.Topo.Node(dst).Ports[0].Peer
+			rc.Faults = &fault.Plan{Events: []fault.Event{
+				{At: 0, Kind: fault.LinkDown, Link: fault.Link{A: dst, B: tor}},
+			}}
+			rc.StallHorizon = 500 * units.Microsecond
+			rc.Opt.Shards = shards
+		})
+	}
+	want := run(1)
+	if !want.Stalled || want.Diagnosis == nil {
+		t.Fatal("unsharded wedged run did not trip the watchdog")
+	}
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		if !got.Stalled || got.Diagnosis == nil {
+			t.Fatalf("shards=%d: wedged run did not trip the watchdog", shards)
+		}
+		if *got.Diagnosis != *want.Diagnosis {
+			t.Fatalf("shards=%d: diagnosis %+v != unsharded %+v", shards, *got.Diagnosis, *want.Diagnosis)
+		}
+		if got.Completed != 0 || got.DeliveredBytes() != 0 {
+			t.Fatalf("shards=%d: severed destination completed %d flows, delivered %v",
+				shards, got.Completed, got.DeliveredBytes())
+		}
+	}
+}
+
+// TestShardOversubscriptionClamp pins the par × shards guard: when the
+// product exceeds GOMAXPROCS the run-level parallelism is clamped to
+// GOMAXPROCS/shards (floor 1) instead of thrashing barrier-synchronized
+// workers against each other.
+func TestShardOversubscriptionClamp(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	cases := []struct {
+		par, shards, want int
+	}{
+		{8, 1, 8},  // unsharded: untouched
+		{2, 4, 2},  // product exactly GOMAXPROCS: untouched
+		{8, 4, 2},  // oversubscribed: clamped to GOMAXPROCS/shards
+		{0, 2, 4},  // par 0 = all cores, then clamped for the shards
+		{3, 16, 1}, // shards alone exceed GOMAXPROCS: floor of 1
+	}
+	for _, c := range cases {
+		o := Options{Parallelism: c.par, Shards: c.shards}
+		if got := o.parallelism(); got != c.want {
+			t.Fatalf("par=%d shards=%d: parallelism() = %d, want %d", c.par, c.shards, got, c.want)
+		}
+	}
+}
+
+// TestShardValidation covers the config surface: negative shard counts
+// are rejected, and Obs (single-engine by design) refuses to combine
+// with sharding instead of silently sampling one shard.
+func TestShardValidation(t *testing.T) {
+	tp := faultTestFabric()
+	rc := RunConfig{Topo: tp, Duration: units.Millisecond}
+	rc.Opt.Shards = -1
+	if err := rc.Validate(); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	rc.Opt.Shards = 2
+	rc.Opt.Obs = ObsConfig{Dir: t.TempDir()}
+	if err := rc.Validate(); err == nil {
+		t.Fatal("Obs with Shards > 1 accepted")
+	}
+	rc.Opt.Obs = ObsConfig{}
+	if err := rc.Validate(); err != nil {
+		t.Fatalf("valid sharded config rejected: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"floodgate/internal/device"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+)
+
+// This file is the sharded conservative-window executor (DESIGN.md
+// §10). The cluster's shards advance in lockstep barrier windows whose
+// span is bounded by the topology lookahead L — the minimum time a
+// frame needs to cross any shard-cutting link (propagation plus
+// minimum serialization). Within a window every shard executes
+// independently; frames bound for another shard are staged in per-link
+// mailboxes and handed over at the barrier, where they land strictly
+// in the receiver's future. Windows are aligned to multiples of L and
+// jump straight to the window containing the earliest queued event, so
+// idle stretches (drain, RTO waits) cost one barrier per event
+// cluster, not one per L.
+//
+// Everything decided at a barrier — early stop when the workload
+// completes, the progress watchdog, the window schedule itself — reads
+// only partition-invariant aggregates (the union of the shards' event
+// queues, total delivered bytes, total completions). That is what
+// makes the executor bit-identical across shard counts: a single-shard
+// run executes the same events in the same order between the same
+// barriers, and stops at the same quantized time.
+
+// windowResult reports how the window loop ended.
+type windowResult struct {
+	stalled   bool
+	diagnosis *StallDiagnosis
+}
+
+// runWindows drives the cluster to tEnd in conservative windows.
+// done/total gate the quantized early stop; a positive horizon arms
+// the barrier-level stall watchdog.
+func runWindows(c *device.Cluster, tEnd units.Time, horizon units.Duration, done func() int, total int) windowResult {
+	L := topo.Lookahead(c.Topo)
+	var pool *shardPool
+	if c.K() > 1 {
+		pool = startShardPool(c)
+		defer pool.stop()
+	}
+	var res windowResult
+	u := units.Time(0)
+	lastProgress := units.Time(0)
+	lastDelivered := units.ByteSize(0)
+	for {
+		// Pick the window end: the smallest multiple of L at or after
+		// the earliest queued event (partition-invariant once mailboxes
+		// are empty), clamped to tEnd. Every event in the window then
+		// sits within L of its end, so staged cross-shard frames always
+		// arrive after the barrier.
+		next := tEnd
+		if minAt, ok := c.NextAt(); ok && minAt <= tEnd {
+			if w := ceilMul(minAt, L); w < next {
+				next = w
+			}
+		}
+		if pool != nil {
+			pool.runTo(next)
+		} else {
+			c.Nets[0].Eng.Run(next)
+		}
+		c.ExchangeFrames()
+		if next == u && u > 0 {
+			panic("exp: shard window did not advance")
+		}
+		u = next
+		if done() == total {
+			break
+		}
+		if horizon > 0 {
+			if d := c.DeliveredBytes(); d != lastDelivered {
+				lastDelivered, lastProgress = d, u
+			} else if u.Sub(lastProgress) >= horizon {
+				ss := c.StallSnapshot()
+				res.stalled = true
+				res.diagnosis = &StallDiagnosis{
+					At:                u,
+					Horizon:           horizon,
+					DeliveredBytes:    ss.DeliveredBytes,
+					IncompleteFlows:   total - done(),
+					ExhaustedWindows:  ss.ExhaustedWindows,
+					WindowDeficit:     ss.WindowDeficit,
+					ParkedBytes:       ss.ParkedBytes,
+					PausedSwitchPorts: ss.PausedSwitchPorts,
+					PausedHosts:       ss.PausedHosts,
+					LinksDown:         ss.LinksDown,
+				}
+				c.Nets[0].Metrics.WatchdogTrips.Inc()
+				break
+			}
+		}
+		if u >= tEnd {
+			break
+		}
+	}
+	return res
+}
+
+// ceilMul rounds t up to the next multiple of the window span.
+func ceilMul(t units.Time, l units.Duration) units.Time {
+	step := units.Time(l)
+	if step <= 0 {
+		return t
+	}
+	return (t + step - 1) / step * step
+}
+
+// shardPool runs shards 1..k-1 on persistent worker goroutines; shard
+// 0 executes on the coordinating goroutine. The cmd send and ack
+// receive around each window are the happens-before edges that make
+// barrier-time reads of shard state (engine queues, collectors, done
+// counters, mailboxes) race-free.
+type shardPool struct {
+	nets []*device.Network
+	cmds []chan units.Time
+	acks chan shardAck
+}
+
+type shardAck struct {
+	idx int
+	pan any
+}
+
+func startShardPool(c *device.Cluster) *shardPool {
+	k := c.K()
+	p := &shardPool{nets: c.Nets, cmds: make([]chan units.Time, k), acks: make(chan shardAck, k)}
+	for i := 1; i < k; i++ {
+		ch := make(chan units.Time)
+		p.cmds[i] = ch
+		go p.worker(i, ch)
+	}
+	return p
+}
+
+func (p *shardPool) worker(i int, ch chan units.Time) {
+	for until := range ch {
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					// Fold the shard's stack into the value: the
+					// coordinator re-panics from its own frame and would
+					// otherwise lose the origin.
+					p.acks <- shardAck{i, fmt.Errorf("shard %d: %v\n%s", i, v, debug.Stack())}
+					return
+				}
+				p.acks <- shardAck{idx: i}
+			}()
+			p.nets[i].Eng.Run(until)
+		}()
+	}
+}
+
+// runTo advances every shard to the window end and waits for all of
+// them. Panics (including shard 0's own) are re-raised only after
+// every shard has acked, lowest shard index first — the same panic a
+// serial execution would surface.
+func (p *shardPool) runTo(until units.Time) {
+	k := len(p.cmds)
+	for i := 1; i < k; i++ {
+		p.cmds[i] <- until
+	}
+	panics := make([]any, k)
+	func() {
+		defer func() { panics[0] = recover() }()
+		p.nets[0].Eng.Run(until)
+	}()
+	for i := 1; i < k; i++ {
+		a := <-p.acks
+		panics[a.idx] = a.pan
+	}
+	for _, v := range panics {
+		if v != nil {
+			panic(v)
+		}
+	}
+}
+
+// stop retires the workers (idempotent per pool lifetime; the deferred
+// call in runWindows is the only caller).
+func (p *shardPool) stop() {
+	for i := 1; i < len(p.cmds); i++ {
+		close(p.cmds[i])
+	}
+}

@@ -44,6 +44,10 @@ type Config struct {
 	// panic isolation belongs at the experiment executor's run boundary
 	// and nowhere else.
 	RecoverAllowed []string
+	// GoAllowed lists the packages permitted to start goroutines: the
+	// deterministic layers are single-goroutine by contract, and only
+	// the exp executor (worker pool, shard barriers) may fan out.
+	GoAllowed []string
 
 	// Canonical packages the rules key their type checks on.
 	UnitsPath  string // units.Time/ByteSize/BitRate live here
@@ -66,6 +70,7 @@ func DefaultConfig(module string) *Config {
 		},
 		Units:          []string{"..."},
 		RecoverAllowed: []string{module + "/internal/exp"},
+		GoAllowed:      []string{module + "/internal/exp"},
 		UnitsPath:      module + "/internal/units",
 		SimPath:        module + "/internal/sim",
 		PacketPath:     module + "/internal/packet",
@@ -134,6 +139,8 @@ func Rules() []Rule {
 			}, checkUnitsMix},
 		{"recover", "no bare recover() outside the experiment executor's run boundary",
 			func(c *Config, p *Package) bool { return !inScope(c.RecoverAllowed, p.Path) }, checkRecover},
+		{"goroutine", "no go statements outside the experiment executor; deterministic layers are single-goroutine",
+			func(c *Config, p *Package) bool { return !inScope(c.GoAllowed, p.Path) }, checkGoroutine},
 	}
 }
 

@@ -1,0 +1,19 @@
+// Package goroutine exercises the goroutine rule: the simulator's
+// deterministic layers are single-goroutine by contract, so starting
+// one anywhere outside the exp executor is a latent data race.
+package goroutine
+
+// Fire starts a goroutine in library code — the violation.
+func Fire(work func()) {
+	go work()
+}
+
+// FireLiteral covers the function-literal form.
+func FireLiteral(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// Audited demonstrates suppression for a justified exception.
+func Audited(work func()) {
+	go work() //lint:allow goroutine fixture demonstrates suppression
+}

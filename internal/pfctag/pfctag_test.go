@@ -23,7 +23,7 @@ func tagNet(thresh units.ByteSize, pauseHosts bool) (*device.Network, *topo.Topo
 		Topo:        tp,
 		Engine:      sim.NewEngine(),
 		Stats:       stats.NewCollector(10 * units.Microsecond),
-		Rand:        sim.NewRand(5),
+		Seed:        5,
 		PFC:         device.PFCConfig{Enable: true, Alpha: 2},
 		CC:          cc.NewFixedWindow(),
 		PerDstPause: pauseHosts,
@@ -67,7 +67,7 @@ func TestTagBoundsLastHop(t *testing.T) {
 			n = device.New(device.Config{
 				Topo: tp, Engine: sim.NewEngine(),
 				Stats: stats.NewCollector(10 * units.Microsecond),
-				Rand:  sim.NewRand(5),
+				Seed:  5,
 				PFC:   device.PFCConfig{Enable: true, Alpha: 2},
 				CC:    cc.NewFixedWindow(),
 			})

@@ -141,7 +141,36 @@ func (e *Engine) recycle(slot int32) {
 	e.free = append(e.free, slot)
 }
 
-func (e *Engine) schedule(t units.Time, fn func(), argFn func(any), arg any) Handle {
+// Event priorities order same-timestamp events across nodes so that the
+// execution order is a pure function of the configuration — never of
+// how the topology happens to be partitioned into shards. The priority
+// occupies the high bits of the entry's tie-break key; the per-engine
+// schedule sequence fills the low bits, so within one (time, priority)
+// class events still fire in FIFO schedule order.
+//
+// The assignment makes every same-(time, priority) collision either
+// impossible or provably order-invariant:
+//
+//   - PriFault:    fault-plane sub-events, fired in plan order.
+//   - PriStart:    flow-start injection chains.
+//   - PriWireBase: wire deliveries; each directed link uses the fixed
+//     priority PriWireBase + its global directed-port index, so two
+//     distinct links never share an armed (time, priority) pair.
+//   - PriTimer:    everything else (the default for At/After/AtArg/
+//     AfterArg). Same-time timer ties are always same-node, and a
+//     node's events keep their relative schedule order under any
+//     partition.
+const (
+	priBits = 20
+	seqBits = 44
+
+	PriFault    uint32 = 0
+	PriStart    uint32 = 1
+	PriWireBase uint32 = 2
+	PriTimer    uint32 = (1 << priBits) - 1
+)
+
+func (e *Engine) schedule(t units.Time, fn func(), argFn func(any), arg any, pri uint32) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
 	}
@@ -151,7 +180,7 @@ func (e *Engine) schedule(t units.Time, fn func(), argFn func(any), arg any) Han
 	ev.argFn = argFn
 	ev.arg = arg
 	gen := ev.gen
-	ent := heapEnt{at: t, seq: e.seq, slot: slot, gen: gen}
+	ent := heapEnt{at: t, seq: uint64(pri)<<seqBits | e.seq, slot: slot, gen: gen}
 	e.seq++
 	e.live++
 	e.insert(ent)
@@ -173,21 +202,21 @@ func (e *Engine) insert(ent heapEnt) {
 
 // At schedules fn to run at absolute time t, which must not precede
 // the current time.
-func (e *Engine) At(t units.Time, fn func()) Handle { return e.schedule(t, fn, nil, nil) }
+func (e *Engine) At(t units.Time, fn func()) Handle { return e.schedule(t, fn, nil, nil, PriTimer) }
 
 // After schedules fn to run d after the current time. Negative d panics.
 func (e *Engine) After(d units.Duration, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return e.schedule(e.now.Add(d), fn, nil, nil)
+	return e.schedule(e.now.Add(d), fn, nil, nil, PriTimer)
 }
 
 // AtArg schedules fn(arg) at absolute time t. fn should be a pre-built
 // capture-free function so the call allocates nothing (a pointer in
 // arg does not box).
 func (e *Engine) AtArg(t units.Time, fn func(any), arg any) Handle {
-	return e.schedule(t, nil, fn, arg)
+	return e.schedule(t, nil, fn, arg, PriTimer)
 }
 
 // AfterArg schedules fn(arg) d after the current time.
@@ -195,7 +224,14 @@ func (e *Engine) AfterArg(d units.Duration, fn func(any), arg any) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return e.schedule(e.now.Add(d), nil, fn, arg)
+	return e.schedule(e.now.Add(d), nil, fn, arg, PriTimer)
+}
+
+// AtArgPri schedules fn(arg) at absolute time t with an explicit
+// same-timestamp priority (see the Pri* constants). Lower priorities
+// fire first among events sharing a timestamp.
+func (e *Engine) AtArgPri(t units.Time, fn func(any), arg any, pri uint32) Handle {
+	return e.schedule(t, nil, fn, arg, pri)
 }
 
 // Cancel removes a pending event (lazily: its queue entry is skipped
@@ -312,6 +348,14 @@ func (e *Engine) nextAt() (units.Time, bool) {
 	ent, ok := e.peekEnt()
 	return ent.at, ok
 }
+
+// NextAt reports the timestamp of the earliest queued entry, or false
+// if the queue is empty. Dead (lazily cancelled) entries count: the
+// sharded executor uses NextAt to pick the next barrier window, and
+// including cancelled entries keeps the choice a function of the
+// schedule/cancel history alone — which is partition-invariant — while
+// only ever making the window conservatively early.
+func (e *Engine) NextAt() (units.Time, bool) { return e.nextAt() }
 
 // Run executes events in timestamp order until the queue empties, Stop
 // is called, or the next event would fire after `until`. The clock is

@@ -84,7 +84,7 @@ func TestEndToEndLifecycle(t *testing.T) {
 	n := device.New(device.Config{
 		Topo: tp, Engine: sim.NewEngine(),
 		Stats: stats.NewCollector(10 * units.Microsecond),
-		Rand:  sim.NewRand(1),
+		Seed:  1,
 		CC:    cc.NewFixedWindow(),
 		Trace: buf,
 	})

@@ -93,7 +93,10 @@ type IncastConfig struct {
 // senders simultaneously start one flow to Dst. The interval is sized
 // so the destination link averages Load.
 func Incast(cfg IncastConfig, r *sim.Rand) []FlowSpec {
-	if cfg.Degree <= 0 || cfg.Load <= 0 || len(cfg.Senders) == 0 {
+	// Zero sizes or rate would make the event interval zero and the
+	// generation loop below endless — treat them as unset, like Degree.
+	if cfg.Degree <= 0 || cfg.Load <= 0 || len(cfg.Senders) == 0 ||
+		cfg.MinSize+cfg.MaxSize <= 0 || cfg.DstRate <= 0 {
 		return nil
 	}
 	if cfg.Degree > len(cfg.Senders) {

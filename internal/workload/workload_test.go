@@ -212,6 +212,29 @@ func TestIncastPattern(t *testing.T) {
 	}
 }
 
+func TestIncastUnsetFieldsReturnNil(t *testing.T) {
+	base := IncastConfig{
+		Dst: 1, Senders: hosts(8), Degree: 4,
+		MinSize: 30 * packet.MTU, MaxSize: 40 * packet.MTU,
+		Load: 0.5, DstRate: 100 * units.Gbps,
+		Until: units.Duration(units.Millisecond),
+	}
+	zero := func(f func(*IncastConfig)) IncastConfig { c := base; f(&c); return c }
+	for name, cfg := range map[string]IncastConfig{
+		// Zero sizes or rate made the interval zero and the generation
+		// loop endless; all unset required fields must yield nil.
+		"sizes":   zero(func(c *IncastConfig) { c.MinSize, c.MaxSize = 0, 0 }),
+		"rate":    zero(func(c *IncastConfig) { c.DstRate = 0 }),
+		"degree":  zero(func(c *IncastConfig) { c.Degree = 0 }),
+		"load":    zero(func(c *IncastConfig) { c.Load = 0 }),
+		"senders": zero(func(c *IncastConfig) { c.Senders = nil }),
+	} {
+		if specs := Incast(cfg, sim.NewRand(6)); specs != nil {
+			t.Errorf("%s unset: got %d specs, want nil", name, len(specs))
+		}
+	}
+}
+
 func TestSuccessiveIncastDistinctDsts(t *testing.T) {
 	hs := hosts(10)
 	specs := SuccessiveIncast(hs, 5, units.Duration(100*units.Microsecond), 30*packet.MTU, 40*packet.MTU, sim.NewRand(7))
