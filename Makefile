@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json bench-smoke profile obs-smoke fault-smoke shard-smoke ci
+.PHONY: build test race vet lint lint-fix-baseline bench bench-json bench-smoke profile obs-smoke fault-smoke shard-smoke ci
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,18 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: go vet plus floodlint, the in-tree analyzer suite
-# that enforces the determinism, pooling and units invariants
-# (see DESIGN.md §7). Nonzero exit on any finding.
+# that enforces the determinism, pooling, units, shard-safety and
+# event-ordering invariants (see DESIGN.md §7). Writes floodlint.sarif
+# for CI annotation; exit is nonzero on any finding not grandfathered
+# in .floodlint.baseline.json.
 lint: vet
-	$(GO) run ./cmd/floodlint ./...
+	$(GO) run ./cmd/floodlint -sarif floodlint.sarif ./...
+
+# Regenerate the lint baseline: the current findings become the
+# grandfathered set. Review the diff before committing — a shrinking
+# baseline is progress, a growing one is debt that needs a reason.
+lint-fix-baseline:
+	$(GO) run ./cmd/floodlint -write-baseline ./...
 
 # Engine microbenchmarks (push/pop, zero-alloc callbacks, cancel) plus
 # the per-figure benchmarks at the package root.

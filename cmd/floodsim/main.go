@@ -69,6 +69,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "floodsim: -obs does not compose with -shards > 1 (per-shard metric export is not merged; see DESIGN.md §10)")
 		os.Exit(2)
 	}
+	if err := validateConcurrency(*par, *shards, runtime.GOMAXPROCS(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "floodsim:", err)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -182,4 +186,24 @@ func main() {
 		os.Exit(1)
 	}
 	print(*expID, tables, time.Since(start)) //lint:allow walltime progress reporting times the real run, not the simulation
+}
+
+// validateConcurrency rejects explicit concurrency settings the exp
+// executor would otherwise only clamp with a warning: every simulation
+// runs one goroutine per shard, so a -par x -shards product above
+// GOMAXPROCS cannot execute as requested — the executor would quietly
+// cap the concurrent runs below what was asked for. An explicit -par
+// is a statement of intent, so an impossible product is a usage error
+// here. -par 0 keeps the executor's auto-sizing (cores divided by the
+// shard count), and -shards alone is never rejected: shards above the
+// core count merely time-slice, which is slower but still bit-exact
+// (that is what lets the 1-core CI container smoke-test -shards 2).
+func validateConcurrency(par, shards, maxProcs int) error {
+	if shards <= 1 || par < 1 {
+		return nil
+	}
+	if par*shards > maxProcs {
+		return fmt.Errorf("-par %d x -shards %d = %d goroutines oversubscribes GOMAXPROCS=%d; lower one of them, or use -par 0 to auto-size", par, shards, par*shards, maxProcs)
+	}
+	return nil
 }

@@ -234,6 +234,17 @@ type RunResult struct {
 	Diagnosis *StallDiagnosis
 }
 
+// shardCount is one shard's flow-completion counter. Each shard gets
+// its own heap allocation — not a slot in a shared slice — so the hot
+// OnFlowDone increments of different shards never touch the same cache
+// line, and no mutable value is aliased across shard Networks (the
+// shardsafety lint rule's contract). The coordinator sums the counters
+// only at barrier windows, where the shard engines are quiescent.
+type shardCount struct {
+	n int
+	_ [120]byte // pad past a cache line so adjacent size-class allocations cannot share one
+}
+
 // DeliveredBytes is the payload delivered across every shard.
 func (r *RunResult) DeliveredBytes() units.ByteSize { return r.Cluster.DeliveredBytes() }
 
@@ -319,10 +330,11 @@ func Run(rc RunConfig) *RunResult {
 	// arrivals. Completion is counted per shard (a flow finishes on its
 	// receiver's shard) and aggregated only at barriers.
 	total := len(rc.Specs)
-	done := make([]int, k)
+	done := make([]*shardCount, k)
 	for i, n := range cluster.Nets {
-		i := i
-		n.OnFlowDone = func(*device.Flow, units.Time) { done[i]++ }
+		sd := &shardCount{}
+		done[i] = sd
+		n.OnFlowDone = func(*device.Flow, units.Time) { sd.n++ }
 	}
 	for _, s := range rc.Specs {
 		cluster.AddFlow(s.Src, s.Dst, s.Size, s.Start, s.Cat)
@@ -331,7 +343,7 @@ func Run(rc RunConfig) *RunResult {
 	doneCount := func() int {
 		d := 0
 		for _, c := range done {
-			d += c
+			d += c.n
 		}
 		return d
 	}

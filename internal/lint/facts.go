@@ -1,0 +1,57 @@
+package lint
+
+import "go/types"
+
+// Facts is the run-wide, cross-package fact store. Rules execute in
+// registry order over every package, and a rule may attach named facts
+// to type-checker objects (package-level variables, fields, functions)
+// for later rules to consume — e.g. shardsafety records which objects
+// escape to multiple shard Networks, and detwrite then treats writes
+// of nondeterministic values into those objects as findings even when
+// the original sharing site was allowlisted.
+//
+// Facts are keyed by types.Object, which is canonical per Run: the
+// loader type-checks each package exactly once, so the object a
+// closure captures in one function is the same object another function
+// indexes into.
+type Facts struct {
+	m map[types.Object]map[string]string
+}
+
+// Fact names exported by the v2 rules.
+const (
+	// FactShardShared marks an object (package var, field, or local)
+	// aliased by more than one shard Network — exported by shardsafety
+	// for every sharing site, including allowlisted ones.
+	FactShardShared = "shardshared"
+)
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: make(map[types.Object]map[string]string)} }
+
+// Export attaches a named fact with a human-readable detail to obj.
+// Re-exporting the same fact keeps the first detail (the earliest
+// sharing site wins, which matches source order under the runner's
+// deterministic package walk).
+func (f *Facts) Export(obj types.Object, name, detail string) {
+	if obj == nil {
+		return
+	}
+	byName := f.m[obj]
+	if byName == nil {
+		byName = make(map[string]string)
+		f.m[obj] = byName
+	}
+	if _, ok := byName[name]; !ok {
+		byName[name] = detail
+	}
+}
+
+// Get reports whether obj carries the named fact, and its detail.
+func (f *Facts) Get(obj types.Object, name string) (string, bool) {
+	if obj == nil {
+		return "", false
+	}
+	detail, ok := f.m[obj][name]
+	return detail, ok
+}

@@ -49,11 +49,28 @@ type Config struct {
 	// the exp executor (worker pool, shard barriers) may fan out.
 	GoAllowed []string
 
+	// ShardSafety scopes the cross-shard aliasing rule, Ordering the
+	// same-timestamp priority rule, DetWrite the nondeterministic-write
+	// taint rule.
+	ShardSafety []string
+	Ordering    []string
+	DetWrite    []string
+
+	// SharedImmutable lists named types ("import/path.Type") that are
+	// immutable after construction and therefore safe to alias across
+	// shard Networks — the shared-state audit from exp/parallel.go made
+	// machine-checkable. Pointer indirection is unwrapped before the
+	// match.
+	SharedImmutable []string
+
 	// Canonical packages the rules key their type checks on.
-	UnitsPath  string // units.Time/ByteSize/BitRate live here
-	SimPath    string // sim.Engine (hot-path scheduling rule)
-	PacketPath string // packet.NewData/NewCtrl (pool rule)
-	DevicePath string // device.Network pool methods (pool rule)
+	UnitsPath   string // units.Time/ByteSize/BitRate live here
+	SimPath     string // sim.Engine (hot-path scheduling rule, Pri* ladder)
+	PacketPath  string // packet.NewData/NewCtrl (pool rule)
+	DevicePath  string // device.Network pool methods, shard Networks
+	StatsPath   string // stats.Collector (detwrite sink)
+	MetricsPath string // metrics instruments and exporters (detwrite sink)
+	ExpPath     string // exp.Table (detwrite sink)
 }
 
 // DefaultConfig returns the production scoping for the given module.
@@ -71,10 +88,23 @@ func DefaultConfig(module string) *Config {
 		Units:          []string{"..."},
 		RecoverAllowed: []string{module + "/internal/exp"},
 		GoAllowed:      []string{module + "/internal/exp"},
-		UnitsPath:      module + "/internal/units",
-		SimPath:        module + "/internal/sim",
-		PacketPath:     module + "/internal/packet",
-		DevicePath:     module + "/internal/device",
+		ShardSafety:    []string{"..."},
+		Ordering:       []string{"..."},
+		DetWrite:       []string{"..."},
+		SharedImmutable: []string{
+			// Immutable after Build()/construction by audited contract
+			// (see the shared-state audit in exp/parallel.go).
+			module + "/internal/topo.Topology",
+			module + "/internal/fault.Plan",
+			module + "/internal/workload.CDF",
+		},
+		UnitsPath:   module + "/internal/units",
+		SimPath:     module + "/internal/sim",
+		PacketPath:  module + "/internal/packet",
+		DevicePath:  module + "/internal/device",
+		StatsPath:   module + "/internal/stats",
+		MetricsPath: module + "/internal/metrics",
+		ExpPath:     module + "/internal/exp",
 	}
 }
 
@@ -116,7 +146,10 @@ type Rule struct {
 	Check func(ctx *Ctx)
 }
 
-// Rules returns the registry in reporting order.
+// Rules returns the registry in execution order. The order is part of
+// the contract: Run drives each rule over every package before the
+// next rule starts, so a rule may consume facts exported by the rules
+// before it (detwrite reads shardsafety's escape facts).
 func Rules() []Rule {
 	return []Rule{
 		{"walltime", "no wall-clock reads (time.Now/Since/Until) in deterministic code",
@@ -141,18 +174,30 @@ func Rules() []Rule {
 			func(c *Config, p *Package) bool { return !inScope(c.RecoverAllowed, p.Path) }, checkRecover},
 		{"goroutine", "no go statements outside the experiment executor; deterministic layers are single-goroutine",
 			func(c *Config, p *Package) bool { return !inScope(c.GoAllowed, p.Path) }, checkGoroutine},
+		{"shardsafety", "no mutable value reachable from two shard Networks outside the Cluster coupling layer",
+			func(c *Config, p *Package) bool { return inScope(c.ShardSafety, p.Path) }, checkShardSafety},
+		{"ordering", "same-timestamp event priorities come from the sim.Pri* ladder, never from nondeterministic state",
+			func(c *Config, p *Package) bool { return inScope(c.Ordering, p.Path) }, checkOrdering},
+		{"detwrite", "no nondeterministic value (map order, wall clock, pointer identity, GOMAXPROCS) written to stats, metrics or tables",
+			func(c *Config, p *Package) bool { return inScope(c.DetWrite, p.Path) }, checkDetWrite},
 	}
 }
 
-// Ctx is the per-(rule, package) check context.
+// Ctx is the per-(rule, package) check context. All carries every
+// package of the run, so whole-program passes (the ordering rule's
+// priority-carrier fixpoint) can see flows across package boundaries.
 type Ctx struct {
 	Cfg  *Config
 	Pkg  *Package
+	All  []*Package
 	fset *token.FileSet
 	src  func(filename string) []byte
 	rule string
 	out  *runState
 }
+
+// Facts returns the run-wide fact store shared by all rules.
+func (c *Ctx) Facts() *Facts { return c.out.facts }
 
 // Report files a diagnostic at pos unless an allow entry suppresses it.
 func (c *Ctx) Report(pos token.Pos, format string, args ...any) {
@@ -169,11 +214,12 @@ func (c *Ctx) Report(pos token.Pos, format string, args ...any) {
 var allowRE = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s+(\S.*)$`)
 
 type allowEntry struct {
-	file string
-	line int // line the allow applies to
-	rule string
-	pos  token.Position
-	used bool
+	file   string
+	line   int // line the allow applies to
+	rule   string
+	pos    token.Position
+	used   bool
+	tagged bool // lives in a build-tag-excluded file; exempt from staleness
 }
 
 type allowIndex struct{ entries []*allowEntry }
@@ -189,26 +235,33 @@ func (ai *allowIndex) match(file string, line int, rule string) *allowEntry {
 
 // collectAllows indexes every //lint:allow comment of a package. A
 // comment trailing code suppresses on its own line; a comment alone on
-// its line suppresses the following line.
+// its line suppresses the following line. Allows in build-tag-excluded
+// files (pkg.TagFiles, e.g. //go:build simdebug sources) are indexed
+// as tagged: their code is not linted in this build, so they can never
+// match a diagnostic and must not be reported stale.
 func collectAllows(fset *token.FileSet, src func(string) []byte, pkg *Package, ai *allowIndex) {
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, cm := range cg.List {
-				m := allowRE.FindStringSubmatch(cm.Text)
-				if m == nil {
-					continue
+	collect := func(files []*ast.File, tagged bool) {
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					m := allowRE.FindStringSubmatch(cm.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(cm.Pos())
+					line := pos.Line
+					if standalone(src(pos.Filename), pos) {
+						line++
+					}
+					ai.entries = append(ai.entries, &allowEntry{
+						file: pos.Filename, line: line, rule: m[1], pos: pos, tagged: tagged,
+					})
 				}
-				pos := fset.Position(cm.Pos())
-				line := pos.Line
-				if standalone(src(pos.Filename), pos) {
-					line++
-				}
-				ai.entries = append(ai.entries, &allowEntry{
-					file: pos.Filename, line: line, rule: m[1], pos: pos,
-				})
 			}
 		}
 	}
+	collect(pkg.Files, false)
+	collect(pkg.TagFiles, true)
 }
 
 // standalone reports whether only whitespace precedes the comment on
@@ -229,26 +282,35 @@ func standalone(src []byte, pos token.Position) bool {
 type runState struct {
 	diags  []Diagnostic
 	allows allowIndex
+	facts  *Facts
+
+	// carriers memoizes the ordering rule's whole-program priority-
+	// carrier fixpoint (computed once per Run, over every package).
+	carriers *carrierSet
 }
 
 // Run executes every rule over the given packages and returns the
-// diagnostics sorted by position. Unused //lint:allow entries are
-// reported under the pseudo-rule "allow".
+// diagnostics sorted by position. Rules run in registry order, each
+// over every package, so later rules can consume facts exported by
+// earlier ones. Unused //lint:allow entries are reported under the
+// pseudo-rule "allow"; allows living in build-tag-excluded files (e.g.
+// simdebug) are collected but exempt from staleness, since the code
+// they suppress is not part of the lint build.
 func Run(l *Loader, pkgs []*Package, cfg *Config) []Diagnostic {
-	st := &runState{}
+	st := &runState{facts: NewFacts()}
 	for _, pkg := range pkgs {
 		collectAllows(l.Fset, l.Source, pkg, &st.allows)
 	}
-	for _, pkg := range pkgs {
-		for _, r := range Rules() {
+	for _, r := range Rules() {
+		for _, pkg := range pkgs {
 			if !r.Scope(cfg, pkg) {
 				continue
 			}
-			r.Check(&Ctx{Cfg: cfg, Pkg: pkg, fset: l.Fset, src: l.Source, rule: r.Name, out: st})
+			r.Check(&Ctx{Cfg: cfg, Pkg: pkg, All: pkgs, fset: l.Fset, src: l.Source, rule: r.Name, out: st})
 		}
 	}
 	for _, a := range st.allows.entries {
-		if !a.used {
+		if !a.used && !a.tagged {
 			st.diags = append(st.diags, Diagnostic{
 				Pos:  a.pos,
 				Rule: "allow",

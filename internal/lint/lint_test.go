@@ -127,8 +127,11 @@ func TestFixturesHaveFindingsAndAllows(t *testing.T) {
 }
 
 // TestRealTreeClean lints the shipped tree with the production config
-// and requires zero findings: the invariants hold, and every allow in
-// the tree is justified by a matching diagnostic.
+// and requires zero non-baselined findings: the invariants hold (or
+// are explicitly grandfathered in the committed baseline), and every
+// allow in the tree is justified by a matching diagnostic. It also
+// pins the committed baseline itself: entries that no longer match any
+// finding are rot and fail the test.
 func TestRealTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -142,7 +145,18 @@ func TestRealTreeClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range Run(l, pkgs, DefaultConfig(l.Module())) {
-		t.Errorf("%s", d.Rel(root))
+	diags := Run(l, pkgs, DefaultConfig(l.Module()))
+	baseline, err := LoadBaseline(filepath.Join(root, BaselineFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baselined := baseline.Classify(root, diags)
+	for i, d := range diags {
+		if !baselined[i] {
+			t.Errorf("non-baselined finding: %s", d.Rel(root))
+		}
+	}
+	for _, key := range baseline.Stale(root, diags) {
+		t.Errorf("baseline entry %q matches no finding; regenerate with make lint-fix-baseline", key)
 	}
 }

@@ -17,12 +17,17 @@ import (
 
 // Package is one loaded, type-checked package of the module (or a test
 // fixture). Files holds the non-test sources in filename order.
+// TagFiles holds sources excluded by build constraints (e.g.
+// //go:build simdebug): they are parsed but not type-checked, and
+// exist only so their //lint:allow comments are visible to the
+// staleness report (which exempts them — their code is not linted).
 type Package struct {
-	Path  string // import path
-	Dir   string
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path     string // import path
+	Dir      string
+	Files    []*ast.File
+	TagFiles []*ast.File
+	Types    *types.Package
+	Info     *types.Info
 }
 
 // Loader parses and type-checks packages using only the standard
@@ -179,7 +184,7 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: %v", err)
 	}
-	var files []*ast.File
+	var files, tagFiles []*ast.File
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -191,11 +196,19 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 			return nil, err
 		}
 		if !buildIncluded(src) {
+			// Excluded by a build constraint: parse for comments only, so
+			// //lint:allow entries under the tag stay visible (and exempt
+			// from staleness). A file that fails to parse — e.g. another
+			// platform's syntax experiment — is simply skipped.
+			if f, err := parser.ParseFile(l.Fset, filename, src, parser.ParseComments); err == nil {
+				l.sources[filename] = src
+				tagFiles = append(tagFiles, f)
+			}
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filename, src, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("lint: parsing %s: %v", filename, err)
 		}
 		l.sources[filename] = src
 		files = append(files, f)
@@ -214,7 +227,7 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	p := &Package{Path: path, Dir: dir, Files: files, TagFiles: tagFiles, Types: tpkg, Info: info}
 	l.pkgs[path] = p
 	return p, nil
 }

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// brokenDir resolves a fixture under testdata/broken.
+func brokenDir(t *testing.T, name string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "broken", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestLoaderErrors pins the Loader's failure modes: every malformed
+// input must come back as a descriptive error (the CLI turns these
+// into exit 2), never a panic or a silent empty package.
+func TestLoaderErrors(t *testing.T) {
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		dir  string
+		want string // substring the error must contain
+	}{
+		{"type error", brokenDir(t, "typeerr"), "type-checking"},
+		{"unresolvable import", brokenDir(t, "badimport"), "no/such/vendored/thing"},
+		{"parse error", brokenDir(t, "parseerr"), "parsing"},
+		{"no go files", brokenDir(t, "nogo"), "no buildable Go files"},
+		{"missing directory", brokenDir(t, "does-not-exist"), "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := l.LoadDir(tc.dir, "broken/"+filepath.Base(tc.dir))
+			if err == nil {
+				t.Fatalf("LoadDir(%s) succeeded, want error containing %q", tc.dir, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("LoadDir(%s) error = %q, want it to mention %q", tc.dir, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoaderErrorsAreNotMemoized ensures a failed load does not poison
+// the cache: the same loader still serves good packages afterwards.
+func TestLoaderErrorsAreNotMemoized(t *testing.T) {
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(brokenDir(t, "typeerr"), "broken/typeerr"); err == nil {
+		t.Fatal("expected type error")
+	}
+	pkg, err := l.Import("floodgate/internal/units")
+	if err != nil {
+		t.Fatalf("loading a good package after a failure: %v", err)
+	}
+	if pkg.Name() != "units" {
+		t.Errorf("loaded package %q, want units", pkg.Name())
+	}
+}
+
+// TestNewLoaderNoModule pins the missing-go.mod failure mode.
+func TestNewLoaderNoModule(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Fatal("NewLoader on a directory without go.mod succeeded")
+	}
+}
+
+// TestNewLoaderNoModuleLine pins the malformed-go.mod failure mode.
+func TestNewLoaderNoModuleLine(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("// empty\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLoader(dir); err == nil || !strings.Contains(err.Error(), "no module line") {
+		t.Fatalf("NewLoader error = %v, want mention of missing module line", err)
+	}
+}

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file renders findings for machines: a stable JSON report for
+// tooling and a minimal SARIF 2.1.0 document for CI annotation, plus
+// the committed baseline that grandfathers known findings so new ones
+// fail the build without forcing a big-bang cleanup.
+//
+// Everything here is byte-deterministic: diagnostics arrive sorted from
+// Run, baseline maps marshal through encoding/json (which sorts keys),
+// and no wall-clock or host identity is ever embedded. Two runs over
+// the same tree produce identical bytes — the linter holds itself to
+// the invariant it enforces.
+
+// Finding is one diagnostic in machine-readable form, with the file
+// path relative to the module root.
+type Finding struct {
+	Rule      string `json:"rule"`
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Msg       string `json:"msg"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// Report is the full machine-readable result of a run.
+type Report struct {
+	Version   int       `json:"version"`
+	Module    string    `json:"module"`
+	Findings  []Finding `json:"findings"`
+	New       int       `json:"new"`
+	Baselined int       `json:"baselined"`
+}
+
+// NewReport converts diagnostics (with their baseline classification)
+// into a Report. diags and baselined are parallel slices.
+func NewReport(module, root string, diags []Diagnostic, baselined []bool) *Report {
+	r := &Report{Version: 1, Module: module, Findings: []Finding{}}
+	for i, d := range diags {
+		f := Finding{
+			Rule: d.Rule,
+			File: relFile(root, d.Pos.Filename),
+			Line: d.Pos.Line,
+			Col:  d.Pos.Column,
+			Msg:  d.Msg,
+		}
+		if i < len(baselined) && baselined[i] {
+			f.Baselined = true
+			r.Baselined++
+		} else {
+			r.New++
+		}
+		r.Findings = append(r.Findings, f)
+	}
+	return r
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r *Report) JSON() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.Encode(r) //nolint — Encode of a plain struct cannot fail
+	return buf.Bytes()
+}
+
+// Minimal SARIF 2.1.0 shapes — just enough for CI annotation viewers.
+type sarifText struct {
+	Text string `json:"text"`
+}
+type sarifRule struct {
+	ID   string    `json:"id"`
+	Desc sarifText `json:"shortDescription"`
+}
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+type sarifPhysical struct {
+	Artifact sarifArtifact `json:"artifactLocation"`
+	Region   sarifRegion   `json:"region"`
+}
+type sarifLoc struct {
+	Physical sarifPhysical `json:"physicalLocation"`
+}
+type sarifSuppression struct {
+	Kind string `json:"kind"`
+}
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLoc         `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+type sarifDoc struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+// SARIF renders the report as a minimal SARIF 2.1.0 document: one run,
+// one result per finding, baselined findings carried as external
+// suppressions so CI viewers hide them by default.
+func (r *Report) SARIF() []byte {
+	driver := sarifDriver{Name: "floodlint"}
+	for _, rl := range Rules() {
+		driver.Rules = append(driver.Rules, sarifRule{ID: rl.Name, Desc: sarifText{Text: rl.Doc}})
+	}
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID: "allow", Desc: sarifText{Text: "//lint:allow comment never matched a diagnostic"},
+	})
+
+	results := []sarifResult{}
+	for _, f := range r.Findings {
+		res := sarifResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: sarifText{Text: f.Msg},
+			Locations: []sarifLoc{{Physical: sarifPhysical{
+				Artifact: sarifArtifact{URI: f.File},
+				Region:   sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		}
+		if f.Baselined {
+			res.Suppressions = []sarifSuppression{{Kind: "external"}}
+		}
+		results = append(results, res)
+	}
+
+	doc := sarifDoc{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.Encode(&doc)
+	return buf.Bytes()
+}
+
+// Text renders the findings in the classic file:line: [rule] message
+// form, marking baselined entries, with one summary line.
+func (r *Report) Text() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Msg)
+		if f.Baselined {
+			b.WriteString("  (baselined)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---- baseline ----
+
+// BaselineFile is the well-known baseline filename at the module root;
+// the CLI loads it automatically when present.
+const BaselineFile = ".floodlint.baseline.json"
+
+// Baseline grandfathers known findings. Keys are rule|file|message
+// (line numbers excluded so unrelated edits above a finding do not
+// invalidate it); values count how many identical findings are
+// grandfathered, so a *new* duplicate of a baselined finding still
+// fails.
+type Baseline struct {
+	Version  int            `json:"version"`
+	Findings map[string]int `json:"findings"`
+}
+
+// baselineKey builds the stable identity of a diagnostic.
+func baselineKey(rule, file, msg string) string {
+	return rule + "|" + file + "|" + msg
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline, any other error is returned.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1, Findings: map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %v", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %v", path, err)
+	}
+	if b.Findings == nil {
+		b.Findings = map[string]int{}
+	}
+	return &b, nil
+}
+
+// Classify splits diagnostics into baselined and new: the returned
+// slice is parallel to diags, true where the baseline absorbs the
+// finding. Counts are consumed in diagnostic order (which Run sorts),
+// so the classification is deterministic.
+func (b *Baseline) Classify(root string, diags []Diagnostic) []bool {
+	remaining := make(map[string]int, len(b.Findings))
+	for k, v := range b.Findings { //lint:allow maprange copying counts into a scratch map; no ordered output depends on it
+		remaining[k] = v
+	}
+	out := make([]bool, len(diags))
+	for i, d := range diags {
+		k := baselineKey(d.Rule, relFile(root, d.Pos.Filename), d.Msg)
+		if remaining[k] > 0 {
+			remaining[k]--
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// NewBaseline builds a baseline that absorbs exactly the given
+// diagnostics.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	b := &Baseline{Version: 1, Findings: map[string]int{}}
+	for _, d := range diags {
+		b.Findings[baselineKey(d.Rule, relFile(root, d.Pos.Filename), d.Msg)]++
+	}
+	return b
+}
+
+// Marshal renders the baseline deterministically (encoding/json sorts
+// map keys) with a trailing newline.
+func (b *Baseline) Marshal() []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.Encode(b)
+	return buf.Bytes()
+}
+
+// Stale returns the baseline keys that no current diagnostic consumed —
+// fixed findings whose entries should be dropped by regenerating the
+// baseline. Sorted for stable output.
+func (b *Baseline) Stale(root string, diags []Diagnostic) []string {
+	remaining := make(map[string]int, len(b.Findings))
+	for k, v := range b.Findings { //lint:allow maprange copying counts into a scratch map; output is sorted below
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		k := baselineKey(d.Rule, relFile(root, d.Pos.Filename), d.Msg)
+		if remaining[k] > 0 {
+			remaining[k]--
+		}
+	}
+	var stale []string
+	for k, v := range remaining { //lint:allow maprange collecting leftover keys; sorted before return
+		if v > 0 {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+// relFile renders a filename relative to the module root with forward
+// slashes (stable across checkouts).
+func relFile(root, name string) string {
+	if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(name)
+}

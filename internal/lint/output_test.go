@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func fakeDiag(root, file string, line int, rule, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:  token.Position{Filename: filepath.Join(root, file), Line: line, Column: 3},
+		Rule: rule,
+		Msg:  msg,
+	}
+}
+
+// TestReportDeterminism renders the same diagnostics twice and demands
+// identical bytes: the linter's own output must satisfy the invariant
+// it enforces.
+func TestReportDeterminism(t *testing.T) {
+	root := "/fake/root"
+	diags := []Diagnostic{
+		fakeDiag(root, "a/a.go", 3, "walltime", "m1"),
+		fakeDiag(root, "a/a.go", 9, "detwrite", "m2"),
+		fakeDiag(root, "b/b.go", 1, "ordering", "m3"),
+	}
+	base := NewBaseline(root, diags[:1])
+	for i := 0; i < 2; i++ {
+		cls := base.Classify(root, diags)
+		r := NewReport("floodgate", root, diags, cls)
+		if i == 0 {
+			continue
+		}
+		prev := NewReport("floodgate", root, diags, base.Classify(root, diags))
+		if !bytes.Equal(r.JSON(), prev.JSON()) {
+			t.Error("JSON output differs between identical runs")
+		}
+		if !bytes.Equal(r.SARIF(), prev.SARIF()) {
+			t.Error("SARIF output differs between identical runs")
+		}
+		if !bytes.Equal(base.Marshal(), NewBaseline(root, diags[:1]).Marshal()) {
+			t.Error("baseline bytes differ between identical runs")
+		}
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from findings and verifies
+// it absorbs exactly those findings — no more, no fewer.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := "/fake/root"
+	old := []Diagnostic{
+		fakeDiag(root, "a.go", 3, "walltime", "m1"),
+		fakeDiag(root, "a.go", 5, "walltime", "m1"), // same key twice: count 2
+		fakeDiag(root, "b.go", 1, "pool", "m2"),
+	}
+	base := NewBaseline(root, old)
+
+	// Same findings (lines moved): all absorbed, nothing stale.
+	moved := []Diagnostic{
+		fakeDiag(root, "a.go", 30, "walltime", "m1"),
+		fakeDiag(root, "a.go", 50, "walltime", "m1"),
+		fakeDiag(root, "b.go", 10, "pool", "m2"),
+	}
+	cls := base.Classify(root, moved)
+	for i, b := range cls {
+		if !b {
+			t.Errorf("finding %d not absorbed by its own baseline", i)
+		}
+	}
+	if stale := base.Stale(root, moved); len(stale) != 0 {
+		t.Errorf("stale entries on an exact match: %v", stale)
+	}
+
+	// A third duplicate of a count-2 key is new, and a novel finding is new.
+	grown := append(moved,
+		fakeDiag(root, "a.go", 70, "walltime", "m1"),
+		fakeDiag(root, "c.go", 2, "detwrite", "m3"),
+	)
+	cls = base.Classify(root, grown)
+	if cls[3] || cls[4] {
+		t.Error("baseline absorbed findings beyond its counts")
+	}
+	r := NewReport("floodgate", root, grown, cls)
+	if r.New != 2 || r.Baselined != 3 {
+		t.Errorf("report counts new=%d baselined=%d, want 2/3", r.New, r.Baselined)
+	}
+
+	// A fixed finding leaves its key stale.
+	if stale := base.Stale(root, moved[:2]); len(stale) != 1 || stale[0] != "pool|b.go|m2" {
+		t.Errorf("stale = %v, want [pool|b.go|m2]", stale)
+	}
+}
+
+// TestBaselineLoadMissing pins that a missing baseline file is an
+// empty baseline, not an error (the CLI default path may not exist).
+func TestBaselineLoadMissing(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline: %v", err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("missing baseline not empty: %v", b.Findings)
+	}
+}
+
+// TestSARIFShape sanity-checks the SARIF envelope and suppression
+// marking without golden-filing the whole document.
+func TestSARIFShape(t *testing.T) {
+	root := "/fake/root"
+	diags := []Diagnostic{
+		fakeDiag(root, "a.go", 3, "walltime", "old"),
+		fakeDiag(root, "a.go", 4, "detwrite", "new"),
+	}
+	base := NewBaseline(root, diags[:1])
+	r := NewReport("floodgate", root, diags, base.Classify(root, diags))
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID       string            `json:"ruleId"`
+				Suppressions []json.RawMessage `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(r.SARIF(), &doc); err != nil {
+		t.Fatalf("SARIF does not parse: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("unexpected envelope: version=%q runs=%d", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "floodlint" {
+		t.Errorf("driver = %q", run.Tool.Driver.Name)
+	}
+	// Every registered rule plus the allow pseudo-rule is declared.
+	if want := len(Rules()) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("driver declares %d rules, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	if len(run.Results[0].Suppressions) != 1 {
+		t.Error("baselined finding missing its suppression")
+	}
+	if len(run.Results[1].Suppressions) != 0 {
+		t.Error("new finding wrongly suppressed")
+	}
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// checkShardSafety enforces the sharded executor's shared-nothing
+// contract: once a topology is partitioned into shard Networks, the
+// only shard-crossing state is the Cluster coupling layer's mailbox
+// exchange — every other mutable value must be private to one shard.
+// The executor's bit-identity guarantee (DESIGN.md §10) and its
+// race-freedom both rest on that invariant, and a violation is
+// invisible at runtime until two shards actually race on the alias.
+//
+// The rule finds the syntactic shape every violation in practice takes:
+// a loop over a []*device.Network slice (the per-shard fan-out) that
+// hands the *same* outer mutable value — a pointer, slice, map, chan,
+// func or interface — to more than one shard, either by storing it
+// into the shard Network, passing it to a method, or installing a
+// callback that references it. Values allocated inside the loop body
+// are per-shard and clean; types listed in Config.SharedImmutable
+// (immutable after construction, per exp/parallel.go's shared-state
+// audit) are safe to alias and exempt.
+//
+// The file that declares the Cluster type is the sanctioned coupling
+// layer — its mailbox exchange exists precisely to move state between
+// shards under the barrier protocol — and is skipped. Every shared
+// object the rule sees (reported or allowlisted) is exported to the
+// fact store as FactShardShared, so detwrite can flag nondeterministic
+// writes into shard-shared state even when the sharing itself was
+// deliberately allowed.
+func checkShardSafety(c *Ctx) {
+	for _, f := range c.Pkg.Files {
+		if c.Pkg.Path == c.Cfg.DevicePath && declaresType(f, "Cluster") {
+			continue // the sanctioned coupling layer (cluster.go)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isShardSlice(c, rng.X) {
+				return true
+			}
+			checkShardLoop(c, rng)
+			return true
+		})
+	}
+}
+
+// declaresType reports whether the file declares a type with the name.
+func declaresType(f *ast.File, name string) bool {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isShardSlice reports whether the expression is a []*device.Network.
+func isShardSlice(c *Ctx, e ast.Expr) bool {
+	tv, ok := c.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	ptr, ok := sl.Elem().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Network" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == c.Cfg.DevicePath
+}
+
+// checkShardLoop audits one per-shard fan-out loop.
+func checkShardLoop(c *Ctx, rng *ast.RangeStmt) {
+	info := c.Pkg.Info
+	valObj := identObj(info, rng.Value)
+	keyObj := identObj(info, rng.Key)
+	sliceRoot := identObj(info, rootIdent(rng.X))
+
+	// shardNetRooted reports whether the expression reads through the
+	// per-iteration shard Network: the range value variable, or the
+	// ranged slice indexed by the range key (for i := range nets →
+	// nets[i]).
+	shardNetRooted := func(e ast.Expr) bool {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				obj := identObj(info, x)
+				return obj != nil && obj == valObj
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				if idx := identObj(info, rootIdent(x.Index)); idx != nil && idx == keyObj &&
+					sliceRoot != nil && identObj(info, rootIdent(x.X)) == sliceRoot {
+					return true
+				}
+				e = x.X
+			default:
+				return false
+			}
+		}
+	}
+
+	skip := map[types.Object]bool{}
+	for _, o := range []types.Object{valObj, keyObj, sliceRoot} {
+		if o != nil {
+			skip[o] = true
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if _, isSel := lhs.(*ast.SelectorExpr); !isSel && !isIndex(lhs) {
+					continue // plain rebinding, not a store into shard state
+				}
+				if shardNetRooted(lhs) {
+					reportShared(c, rng, skip, n.Rhs[i], "stored into every shard Network")
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || !shardNetRooted(sel) {
+				return true
+			}
+			for _, arg := range n.Args {
+				reportShared(c, rng, skip, arg, "passed to every shard Network")
+			}
+		}
+		return true
+	})
+}
+
+func isIndex(e ast.Expr) bool { _, ok := e.(*ast.IndexExpr); return ok }
+
+// reportShared flags v when it makes an outer mutable value reachable
+// from every shard, and exports the shared object as a fact either way.
+func reportShared(c *Ctx, rng *ast.RangeStmt, skip map[types.Object]bool, v ast.Expr, how string) {
+	v = ast.Unparen(v)
+	if u, ok := v.(*ast.UnaryExpr); ok {
+		v = u.X // &x aliases x
+	}
+	if lit, ok := v.(*ast.FuncLit); ok {
+		reportCallbackRefs(c, rng, skip, lit)
+		return
+	}
+	obj := identObj(c.Pkg.Info, rootIdent(v))
+	vr, ok := obj.(*types.Var)
+	if !ok || skip[obj] || vr.IsField() || declaredIn(vr, rng.Body) {
+		return
+	}
+	t := vr.Type()
+	if !sharedMutable(t) || immutableListed(c.Cfg, t) {
+		return
+	}
+	c.Facts().Export(vr, FactShardShared, shortPos(c, v.Pos()))
+	c.Report(v.Pos(), "mutable value %s (%s) %s; shard state must be private to its shard or move through the Cluster mailbox exchange (allocate per shard inside the loop, or list the type in SharedImmutable if it is immutable by contract)",
+		vr.Name(), shortType(t), how)
+}
+
+// reportCallbackRefs flags outer mutable state a callback installed on
+// every shard closes over or references: the engine will invoke the
+// callback on each shard's goroutine, so everything it can reach is
+// reachable from all shards at once.
+func reportCallbackRefs(c *Ctx, rng *ast.RangeStmt, skip map[types.Object]bool, lit *ast.FuncLit) {
+	info := c.Pkg.Info
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		vr, ok := info.Uses[id].(*types.Var)
+		if !ok || vr.IsField() || seen[vr] || skip[vr] {
+			return true
+		}
+		if vr.Pos() >= lit.Pos() && vr.Pos() < lit.End() {
+			return true // the literal's own local or parameter
+		}
+		if declaredIn(vr, rng.Body) {
+			return true // fresh per shard
+		}
+		t := vr.Type()
+		if !sharedMutable(t) || immutableListed(c.Cfg, t) {
+			return true
+		}
+		seen[vr] = true
+		c.Facts().Export(vr, FactShardShared, shortPos(c, id.Pos()))
+		c.Report(id.Pos(), "callback installed on every shard references %s (%s), aliasing it across shards; give each shard its own copy allocated inside the loop, or route the state through the Cluster mailbox exchange",
+			vr.Name(), shortType(t))
+		return true
+	})
+}
+
+// shortPos renders a position as base-filename:line — stable across
+// checkouts, so fact details can appear in diagnostics and goldens.
+func shortPos(c *Ctx, pos token.Pos) string {
+	p := c.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// declaredIn reports whether the object's declaration lies inside the
+// node's source range.
+func declaredIn(obj types.Object, n ast.Node) bool {
+	return obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// sharedMutable reports whether aliasing a value of this type across
+// shards shares mutable state: anything with reference semantics.
+func sharedMutable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// immutableListed reports whether the (pointer-unwrapped) named type is
+// on the immutable-by-contract allowlist.
+func immutableListed(cfg *Config, t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	full := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	for _, im := range cfg.SharedImmutable {
+		if im == full {
+			return true
+		}
+	}
+	return false
+}
+
+// shardShared reports whether the expression's root object was marked
+// shard-shared by this rule (query helper for later rules).
+func shardShared(c *Ctx, e ast.Expr) (types.Object, string, bool) {
+	obj := identObj(c.Pkg.Info, rootIdent(e))
+	if obj == nil {
+		return nil, "", false
+	}
+	detail, ok := c.Facts().Get(obj, FactShardShared)
+	if !ok {
+		return nil, "", false
+	}
+	return obj, detail, true
+}

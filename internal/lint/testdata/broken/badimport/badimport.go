@@ -1,0 +1,7 @@
+// Package badimport imports a path that resolves nowhere (not stdlib,
+// not this module): the Loader must report it, not panic.
+package badimport
+
+import "no/such/vendored/thing"
+
+var _ = thing.Value

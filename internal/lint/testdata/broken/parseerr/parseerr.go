@@ -1,0 +1,4 @@
+// Package parseerr does not parse.
+package parseerr
+
+func Broken( {

@@ -1,0 +1,8 @@
+// Package typeerr fails type-checking: the Loader must surface this as
+// an error naming the package, not a panic.
+package typeerr
+
+func Mismatch() int {
+	var s string = 42
+	return s
+}

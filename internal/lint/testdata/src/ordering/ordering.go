@@ -1,0 +1,49 @@
+// Package ordering exercises the same-timestamp priority rule:
+// tie-break priorities must come from the sim.Pri* ladder, and event
+// times must not derive from nondeterministic sources.
+package ordering
+
+import (
+	"time"
+
+	"floodgate/internal/sim"
+	"floodgate/internal/units"
+)
+
+// wire carries ladder provenance through a field, like device.wire.
+type wire struct{ pri uint32 }
+
+func newWire(port uint32) *wire {
+	return &wire{pri: sim.PriWireBase + port}
+}
+
+// Ladder schedules with ladder-derived priorities — clean.
+func Ladder(e *sim.Engine, w *wire, port uint32) {
+	e.AtArgPri(units.Time(10), func(any) {}, nil, sim.PriWireBase+port)
+	e.AtArgPri(units.Time(20), func(any) {}, nil, w.pri)
+}
+
+// Raw passes a bare literal — tie-break values collide.
+func Raw(e *sim.Engine) {
+	e.AtArgPri(units.Time(10), func(any) {}, nil, 3)
+}
+
+// Demoted launders a raw literal through a variable: the carrier
+// fixpoint demotes p, so the call site is still flagged.
+func Demoted(e *sim.Engine) {
+	p := uint32(7)
+	e.AtArgPri(units.Time(10), func(any) {}, nil, p)
+}
+
+// MapOrder derives the priority from map iteration order.
+func MapOrder(e *sim.Engine, m map[uint32]bool) {
+	for k := range m {
+		e.AtArgPri(units.Time(10), func(any) {}, nil, sim.PriWireBase+k)
+	}
+}
+
+// WallTime schedules at a wall-clock-derived delay.
+func WallTime(e *sim.Engine) {
+	d := units.Duration(time.Now().UnixNano())
+	e.After(d, func() {})
+}

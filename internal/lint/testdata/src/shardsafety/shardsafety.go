@@ -1,0 +1,55 @@
+// Package shardsafety exercises the cross-shard aliasing rule: a
+// fan-out loop over shard Networks must not hand the same mutable
+// value to more than one shard.
+package shardsafety
+
+import (
+	"floodgate/internal/device"
+	"floodgate/internal/stats"
+	"floodgate/internal/topo"
+	"floodgate/internal/units"
+)
+
+// Tally is package-level mutable state; a per-shard callback that
+// reaches it aliases it across every shard.
+var Tally []int
+
+type counter struct{ n int }
+
+// InstallShared wires every shard to the same outer state — the
+// capture and store violations.
+func InstallShared(nets []*device.Network, tp *topo.Topology) {
+	done := make([]int, len(nets))
+	col := stats.NewCollector(units.Millisecond)
+	for i, n := range nets {
+		i := i
+		n.OnFlowDone = func(*device.Flow, units.Time) { done[i]++ }
+		n.Stats = col
+		n.Topo = tp // clean: topo.Topology is immutable by contract
+	}
+}
+
+// InstallGlobal reaches package-level state from the callback.
+func InstallGlobal(nets []*device.Network) {
+	for i, n := range nets {
+		i := i
+		n.OnFlowDone = func(*device.Flow, units.Time) { Tally[i]++ }
+	}
+}
+
+// InstallPrivate allocates per-shard state inside the loop — clean.
+func InstallPrivate(nets []*device.Network) {
+	for _, n := range nets {
+		sd := &counter{}
+		n.OnFlowDone = func(*device.Flow, units.Time) { sd.n++ }
+	}
+}
+
+// InstallAllowed shares deliberately, with a justification.
+func InstallAllowed(nets []*device.Network, seen map[uint64]bool) {
+	for _, n := range nets {
+		n.OnFlowDone = func(f *device.Flow, _ units.Time) {
+			seen[0] = true //lint:allow shardsafety coordinator-only map, read at barrier windows
+		}
+	}
+}

@@ -1,0 +1,14 @@
+//go:build simdebug
+
+// This file is excluded from the default (lint) build by its tag. Its
+// allow suppresses a walltime finding that only exists when building
+// with -tags simdebug — the staleness report must leave it alone.
+package tagallow
+
+import "time"
+
+// DebugStamp timestamps debug traces with host time; acceptable in the
+// simdebug diagnostics build, which never ships results.
+func DebugStamp() time.Time {
+	return time.Now() //lint:allow walltime simdebug-only diagnostics; excluded from deterministic builds
+}

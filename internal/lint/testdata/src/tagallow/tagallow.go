@@ -1,0 +1,12 @@
+// Package tagallow exercises allow-staleness across build tags: the
+// sibling file debug_tagged.go is excluded by its //go:build simdebug
+// constraint, so its //lint:allow must not be reported stale even
+// though no diagnostic in this build can ever match it.
+package tagallow
+
+import "time"
+
+// Stamp is a plain finding so the golden is non-empty.
+func Stamp() time.Time {
+	return time.Now()
+}
