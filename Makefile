@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-fix-baseline bench bench-json bench-smoke profile obs-smoke fault-smoke shard-smoke ci
+.PHONY: build test race vet lint lint-fix-baseline bench bench-json bench-smoke bench-compare profile obs-smoke fault-smoke shard-smoke forensics-smoke ci
 
 build:
 	$(GO) build ./...
@@ -47,17 +47,32 @@ bench:
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem \
 		./internal/sim ./internal/metrics; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkRun' -benchmem -benchtime 10x \
-		./internal/exp; } | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkForensicsOff' -benchmem -benchtime 10x \
+		./internal/exp; } | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
 # One-iteration macro benchmarks: catches bit-rot in the benchmark
-# harness (and hot-path allocation regressions via benchjson's gate)
-# without the minutes-long stable-measurement runs.
+# harness (and hot-path allocation regressions via benchjson's gate,
+# including the BenchmarkForensicsOff/BenchmarkRunIncast pair rule that
+# asserts disabled forensics hooks are allocation-free) without the
+# minutes-long stable-measurement runs.
 bench-smoke:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem -benchtime 100x \
 		./internal/sim ./internal/metrics; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkRun' -benchmem -benchtime 1x \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkForensicsOff' -benchmem -benchtime 1x \
 		./internal/exp; } | $(GO) run ./cmd/benchjson > /dev/null
+
+# Regression compare: a fresh short benchmark run diffed against the
+# committed BENCH_PR8.json snapshot. The wide tolerance (35%) absorbs
+# scheduling noise from the 3-iteration run and shared CI hardware —
+# this gate exists to catch step-change regressions (an accidental
+# O(n^2), a hot path starting to allocate), not single-digit drift; the
+# committed snapshots track that across PRs. Allocation counts are
+# deterministic, so the pair rule and the zero-alloc gates stay exact.
+bench-compare:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem -benchtime 100ms \
+		./internal/sim ./internal/metrics; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkForensicsOff' -benchmem -benchtime 3x \
+		./internal/exp; } | $(GO) run ./cmd/benchjson -compare BENCH_PR8.json -tol 35 > /dev/null
 
 # CPU + heap profile of the macro incast benchmark; inspect with
 # `go tool pprof cpu.out`. floodsim -cpuprofile/-memprofile profile a
@@ -95,4 +110,15 @@ shard-smoke:
 		-run 'TestShardWatchdog|TestShardCrossCut|TestShardOversub|TestShardValidation' \
 		./internal/exp
 
-ci: build lint test race obs-smoke fault-smoke shard-smoke bench-smoke
+# Forensics smoke: one real experiment through floodsim with the causal
+# tracing layer on; asserts the CLI wiring end to end (the NDJSON report
+# lands next to the obs artifacts) and that the flag pairing error path
+# stays a usage error. Byte-identity across shards/schedulers is pinned
+# by TestForensicsShardSchedDeterminism in `make test`.
+forensics-smoke:
+	$(GO) run ./cmd/floodsim -exp fig2 -scale 0.1 -obs .forensics-smoke -forensics > /dev/null
+	@ls .forensics-smoke/fig2/*.forensics.ndjson > /dev/null || \
+		{ echo "forensics-smoke: no .forensics.ndjson written"; exit 1; }
+	@rm -rf .forensics-smoke
+
+ci: build lint test race obs-smoke fault-smoke shard-smoke forensics-smoke bench-smoke bench-compare

@@ -14,6 +14,20 @@
 // allocs_per_op > 0 fails the run with a non-zero exit after the
 // document is written, so CI catches an allocation regression even
 // though the numbers still land on disk for inspection.
+//
+// Compare mode diffs the fresh run against a committed document:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -compare BENCH.json -tol 10
+//
+// Each benchmark present in both documents must stay within the
+// tolerance (percent): ns/op and allocs/op may not rise past it,
+// events/s may not fall past it. Benchmarks present on only one side
+// are reported but never fail (the suite evolves). One built-in pair
+// rule rides along: when the fresh run contains both
+// BenchmarkForensicsOff and BenchmarkRunIncast, their allocs/op must
+// agree — the forensics hooks are contractually free when disabled, so
+// any divergence between the identical workloads is a regression
+// regardless of tolerance.
 package main
 
 import (
@@ -110,8 +124,73 @@ func parseLine(line string) (benchResult, bool) {
 	return r, true
 }
 
+// compareDocs checks cur against a committed baseline, returning one
+// violation message per tolerance breach. tolPct is the allowed
+// regression in percent. The allocs check carries a small absolute
+// slack (8 allocs/op) so tiny fixed-cost additions to setup-heavy
+// benchmarks do not trip a percentage meant for real growth.
+func compareDocs(old, cur doc, tolPct float64) []string {
+	base := make(map[string]benchResult, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		base[r.Name] = r
+	}
+	var viol []string
+	for _, r := range cur.Benchmarks {
+		o, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		if max := o.NsPerOp * (1 + tolPct/100); r.NsPerOp > max {
+			viol = append(viol, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f by more than %g%%",
+				r.Name, r.NsPerOp, o.NsPerOp, tolPct))
+		}
+		if max := float64(o.AllocsPerOp)*(1+tolPct/100) + 8; float64(r.AllocsPerOp) > max {
+			viol = append(viol, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d by more than %g%%",
+				r.Name, r.AllocsPerOp, o.AllocsPerOp, tolPct))
+		}
+		if ev, ok := o.Metrics["events/s"]; ok && ev > 0 {
+			if cv, ok := r.Metrics["events/s"]; ok && cv < ev*(1-tolPct/100) {
+				viol = append(viol, fmt.Sprintf("%s: %.0f events/s falls below baseline %.0f by more than %g%%",
+					r.Name, cv, ev, tolPct))
+			}
+		}
+	}
+	return viol
+}
+
+// forensicsPairRule asserts the disabled-forensics contract inside one
+// run: BenchmarkForensicsOff executes the same workload as
+// BenchmarkRunIncast with the hooks compiled in but disabled, so their
+// allocation counts must agree (small absolute slack for runtime
+// noise). Returns "" when the rule passes or does not apply.
+func forensicsPairRule(cur doc) string {
+	var off, base *benchResult
+	for i := range cur.Benchmarks {
+		switch cur.Benchmarks[i].Name {
+		case "BenchmarkForensicsOff":
+			off = &cur.Benchmarks[i]
+		case "BenchmarkRunIncast":
+			base = &cur.Benchmarks[i]
+		}
+	}
+	if off == nil || base == nil {
+		return ""
+	}
+	delta := off.AllocsPerOp - base.AllocsPerOp
+	if delta < 0 {
+		delta = -delta
+	}
+	if slack := base.AllocsPerOp/200 + 8; delta > slack {
+		return fmt.Sprintf("BenchmarkForensicsOff allocates %d allocs/op vs BenchmarkRunIncast's %d (delta %d > slack %d); disabled forensics hooks must be allocation-free",
+			off.AllocsPerOp, base.AllocsPerOp, delta, slack)
+	}
+	return ""
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "compare against this committed benchjson document; tolerance breaches exit non-zero")
+	tol := flag.Float64("tol", 10, "compare tolerance in percent")
 	flag.Parse()
 
 	var results []benchResult
@@ -132,14 +211,15 @@ func main() {
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 
-	data, err := json.MarshalIndent(doc{
+	cur := doc{
 		Format:     2,
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		CPUModel:   cpuModel(),
 		Count:      len(results),
 		Benchmarks: results,
-	}, "", "  ")
+	}
+	data, err := json.MarshalIndent(cur, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -157,6 +237,26 @@ func main() {
 		if zeroAllocRequired.MatchString(r.Name) && r.AllocsPerOp > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %s allocates %d allocs/op; hot-path benchmarks must be allocation-free\n",
 				r.Name, r.AllocsPerOp)
+			failed = true
+		}
+	}
+	if msg := forensicsPairRule(cur); msg != "" {
+		fmt.Fprintln(os.Stderr, "benchjson:", msg)
+		failed = true
+	}
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var old doc
+		if err := json.Unmarshal(raw, &old); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		for _, v := range compareDocs(old, cur, *tol) {
+			fmt.Fprintln(os.Stderr, "benchjson:", v)
 			failed = true
 		}
 	}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkRunIncast-8   	      12	  95331269 ns/op	        52.11 simsec/wallsec	  20810342 events/s	 8642112 B/op	   61234 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkRunIncast" || r.Iterations != 12 {
+		t.Errorf("name/iters = %q/%d", r.Name, r.Iterations)
+	}
+	if r.AllocsPerOp != 61234 || r.BytesPerOp != 8642112 {
+		t.Errorf("allocs/bytes = %d/%d", r.AllocsPerOp, r.BytesPerOp)
+	}
+	if r.Metrics["events/s"] != 20810342 {
+		t.Errorf("events/s = %v", r.Metrics["events/s"])
+	}
+	if _, ok := parseLine("PASS"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+}
+
+func mkDoc(rs ...benchResult) doc { return doc{Format: 2, Count: len(rs), Benchmarks: rs} }
+
+// TestCompareDocs pins the tolerance semantics: ns/op and allocs/op
+// may not rise past tol percent of the baseline, events/s may not fall
+// past it, and benchmarks on only one side never fail.
+func TestCompareDocs(t *testing.T) {
+	base := mkDoc(
+		benchResult{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 1000, Metrics: map[string]float64{"events/s": 1e6}},
+		benchResult{Name: "BenchmarkGone", NsPerOp: 50},
+	)
+	cases := []struct {
+		name string
+		cur  benchResult
+		want string // substring of expected violation, "" = clean
+	}{
+		{"within tolerance", benchResult{Name: "BenchmarkA", NsPerOp: 1050, AllocsPerOp: 1040, Metrics: map[string]float64{"events/s": 0.95e6}}, ""},
+		{"ns regression", benchResult{Name: "BenchmarkA", NsPerOp: 1200, AllocsPerOp: 1000, Metrics: map[string]float64{"events/s": 1e6}}, "ns/op exceeds"},
+		{"alloc regression", benchResult{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 1200, Metrics: map[string]float64{"events/s": 1e6}}, "allocs/op exceeds"},
+		{"throughput regression", benchResult{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 1000, Metrics: map[string]float64{"events/s": 0.8e6}}, "events/s falls"},
+		{"new benchmark ignored", benchResult{Name: "BenchmarkNew", NsPerOp: 1e9, AllocsPerOp: 1 << 30}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			viol := compareDocs(base, mkDoc(tc.cur), 10)
+			if tc.want == "" {
+				if len(viol) != 0 {
+					t.Fatalf("unexpected violations: %v", viol)
+				}
+				return
+			}
+			if len(viol) != 1 || !strings.Contains(viol[0], tc.want) {
+				t.Fatalf("violations = %v, want one mentioning %q", viol, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompareDocsAbsoluteAllocSlack pins the small absolute slack: a
+// benchmark going from 0 to a few allocs/op is not a percentage
+// question, and must still pass.
+func TestCompareDocsAbsoluteAllocSlack(t *testing.T) {
+	base := mkDoc(benchResult{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 0})
+	if v := compareDocs(base, mkDoc(benchResult{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 8}), 10); len(v) != 0 {
+		t.Errorf("8 allocs over a 0 baseline should sit inside the absolute slack: %v", v)
+	}
+	if v := compareDocs(base, mkDoc(benchResult{Name: "BenchmarkB", NsPerOp: 100, AllocsPerOp: 9}), 10); len(v) != 1 {
+		t.Errorf("9 allocs over a 0 baseline should breach the slack, got %v", v)
+	}
+}
+
+// TestForensicsPairRule pins the built-in pair rule: the forensics-off
+// benchmark must allocate like the plain incast benchmark.
+func TestForensicsPairRule(t *testing.T) {
+	if msg := forensicsPairRule(mkDoc(
+		benchResult{Name: "BenchmarkForensicsOff", AllocsPerOp: 10004},
+		benchResult{Name: "BenchmarkRunIncast", AllocsPerOp: 10000},
+	)); msg != "" {
+		t.Errorf("small delta should pass: %s", msg)
+	}
+	msg := forensicsPairRule(mkDoc(
+		benchResult{Name: "BenchmarkForensicsOff", AllocsPerOp: 12000},
+		benchResult{Name: "BenchmarkRunIncast", AllocsPerOp: 10000},
+	))
+	if !strings.Contains(msg, "must be allocation-free") {
+		t.Errorf("large delta should fail, got %q", msg)
+	}
+	if msg := forensicsPairRule(mkDoc(benchResult{Name: "BenchmarkRunIncast", AllocsPerOp: 10000})); msg != "" {
+		t.Errorf("rule should not apply without both benchmarks: %s", msg)
+	}
+}

@@ -6,6 +6,7 @@
 //	floodsim -exp fig10 -scale 0.25
 //	floodsim -exp all -scale 0.5 -seed 7 -par 8
 //	floodsim -exp fig6 -obs out/ -sample 10us
+//	floodsim -exp fig2 -obs out/ -forensics
 //	floodsim -faults list
 //	floodsim -faults storm -seed 7
 //
@@ -19,6 +20,12 @@
 // under <dir>/<experiment>/, plus a manifest.json recording the run
 // parameters and a hash of the printed tables. These files are
 // byte-identical at every -par setting.
+//
+// -forensics (requires -obs) adds causal flow forensics: every run
+// also writes <label>.forensics.ndjson — a per-flow FCT time budget
+// (serialization, queueing, PFC, VOQ-parked, credit-in-flight, ...)
+// plus detected incast episodes — and the fig2/faultmatrix tables gain
+// attribution columns with a "why was p99 slow" summary.
 //
 // Scale 1 is the paper's 160-host 100/400 Gbps fabric (slow; see
 // DESIGN.md for the slow-motion scale model that keeps smaller runs
@@ -49,6 +56,7 @@ func main() {
 		obsDir     = flag.String("obs", "", "write per-run metrics/timeline files under this directory")
 		sample     = flag.Duration("sample", 0, "metrics sampling period on the simulation clock (e.g. 10us); 0 = default")
 		faults     = flag.String("faults", "", "run one fault-injection scenario, or 'list'")
+		forensics  = flag.Bool("forensics", false, "causal flow forensics: FCT time-budget attribution + incast episodes (requires -obs; writes <label>.forensics.ndjson)")
 		sched      = flag.String("sched", "wheel", "event scheduler: wheel (default) or heap; output is identical")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -70,6 +78,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := validateConcurrency(*par, *shards, runtime.GOMAXPROCS(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "floodsim:", err)
+		os.Exit(2)
+	}
+	if err := validateForensics(*forensics, *obsDir); err != nil {
 		fmt.Fprintln(os.Stderr, "floodsim:", err)
 		os.Exit(2)
 	}
@@ -145,6 +157,7 @@ func main() {
 	if *obsDir != "" {
 		o.Obs = floodgate.ObsConfig{Dir: *obsDir, Period: floodgate.FromNanos(sample.Nanoseconds())}
 	}
+	o.Obs.Forensics = *forensics
 	print := func(id string, tables []floodgate.Table, elapsed time.Duration) {
 		for _, t := range tables {
 			fmt.Println(t.String())
@@ -198,6 +211,19 @@ func main() {
 // shard count), and -shards alone is never rejected: shards above the
 // core count merely time-slice, which is slower but still bit-exact
 // (that is what lets the 1-core CI container smoke-test -shards 2).
+// validateForensics rejects -forensics without an -obs directory: the
+// forensics report is file output (NDJSON beside the run's metric
+// files), so without a destination directory the flag would silently
+// record attribution and throw it away. Pairing the flags keeps the
+// CLI contract honest; the exp API allows Forensics without Dir for
+// in-process consumers (tests read RunResult.Forensics directly).
+func validateForensics(forensics bool, obsDir string) error {
+	if forensics && obsDir == "" {
+		return fmt.Errorf("-forensics needs -obs <dir> to write the report: add -obs out/ (the NDJSON lands at <dir>/<experiment>/<label>.forensics.ndjson)")
+	}
+	return nil
+}
+
 func validateConcurrency(par, shards, maxProcs int) error {
 	if shards <= 1 || par < 1 {
 		return nil

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 
 	"floodgate/internal/device"
+	"floodgate/internal/forensics"
 	"floodgate/internal/metrics"
 	"floodgate/internal/packet"
 	"floodgate/internal/sim"
@@ -54,6 +55,15 @@ type Module struct {
 	// switch detected an upstream restart.
 	epoch   uint32
 	resyncs int
+
+	// frx is the shard's forensics recorder (nil when disabled).
+	// creditSentAt/creditFrom are transients valid only inside OnCtrl's
+	// credit-apply loop: drain reads them to attribute a released
+	// packet's wait to credit flight time and to link the unpark back to
+	// the crediting switch.
+	frx          *forensics.Recorder
+	creditSentAt units.Time
+	creditFrom   packet.NodeID
 
 	// Instrument handles copied from the network's NetMetrics at
 	// construction (value types, nil-safe when no registry is attached).
@@ -154,6 +164,7 @@ func newModule(cfg Config, sw *device.Switch) *Module {
 		pausedHosts: make(map[packet.NodeID]map[packet.NodeID]bool),
 		epoch:       1,
 	}
+	m.frx = sw.Net().ForensicsRec()
 	nm := &sw.Net().Metrics
 	m.mWindows = nm.FGWindows
 	m.mWindowBytes = nm.FGWindowBytes
@@ -335,6 +346,9 @@ func (m *Module) allocVOQ(dst packet.NodeID) *voq {
 	}
 	v.dsts = append(v.dsts, dst)
 	m.voqOf[dst] = v
+	if m.frx != nil {
+		m.frx.EpisodeStart(m.sw.Node().ID, dst, m.now())
+	}
 	return v
 }
 
@@ -380,6 +394,9 @@ func (m *Module) park(v *voq, p *packet.Packet, outPort int) {
 	v.perDst[p.Dst] += p.Size
 	m.mParkedBytes.Add(int64(p.Size))
 	m.sw.NotePortBytes(outPort, p.Size)
+	if m.frx != nil {
+		m.frx.Parked(m.sw.Node().ID, p.Dst, p.Flow, v.perDst[p.Dst])
+	}
 	m.sw.Net().TraceEvent(trace.OpPark, m.sw.Node().ID, p)
 	m.maybeDstPause(p)
 }
@@ -407,6 +424,11 @@ func (m *Module) drain(v *voq) {
 			m.sw.NotePortBytes(int(e.out), -p.Size)
 			m.sw.NotePortBytes(outPort, p.Size)
 		}
+		if m.frx != nil {
+			now := m.now()
+			m.frx.Unparked(p.Flow, p.Last && !p.Trimmed, now.Sub(p.EnqueuedAt), now.Sub(m.creditSentAt))
+		}
+		m.sw.Net().TraceAux(trace.OpUnpark, m.sw.Node().ID, p, m.creditFrom)
 		m.forward(w, p, outPort)
 		m.sw.InjectEgress(p, outPort, 0)
 		m.maybeDstResume(p.Dst)
@@ -420,6 +442,12 @@ func (m *Module) drain(v *voq) {
 func (m *Module) freeVOQ(v *voq) {
 	if len(v.dsts) == 0 {
 		return
+	}
+	if m.frx != nil {
+		now := m.now()
+		for _, d := range v.dsts {
+			m.frx.EpisodeEnd(m.sw.Node().ID, d, now)
+		}
 	}
 	for _, d := range v.dsts {
 		delete(m.voqOf, d)
@@ -528,9 +556,13 @@ func (m *Module) emitCredit(in int, dst packet.NodeID, ch *downChan) {
 	// Append into the pooled packet's retained Credits backing
 	// (ResetKeepBuffers preserves it) instead of minting a slice.
 	cr.Credits = append(cr.Credits[:0], packet.CreditEntry{Dst: dst, Bytes: ch.pending, Cum: ch.cumFwd})
+	// SentAt dates the credit so the upstream can split a parked
+	// packet's wait into window time and credit flight time; it is
+	// stamped unconditionally (never read unless forensics is on).
+	cr.SentAt = m.now()
 	ch.pending = 0
 	m.mCreditsInFlight.Add(1)
-	n.TraceEvent(trace.OpCredit, m.sw.Node().ID, cr)
+	n.TraceAux(trace.OpCredit, m.sw.Node().ID, cr, dst)
 	m.sw.SendCtrl(cr, in)
 }
 
@@ -541,9 +573,13 @@ func (m *Module) OnCtrl(p *packet.Packet, inPort int) bool {
 	switch p.Kind {
 	case packet.Credit:
 		m.mCreditsInFlight.Add(-1)
+		m.creditSentAt = p.SentAt
+		m.creditFrom = m.sw.Node().Ports[inPort].Peer
 		for _, e := range p.Credits {
 			m.applyCredit(inPort, e)
 		}
+		m.creditSentAt = 0
+		m.creditFrom = 0
 		return true
 	case packet.SwitchSYN:
 		// Downstream side: the SYN carries the upstream's cumulative
@@ -795,6 +831,11 @@ func (m *Module) now() units.Time { return m.sw.Net().Eng.Now() }
 func (m *Module) Restart() {
 	n := m.sw.Net()
 	node := m.sw.Node()
+
+	// Open incast episodes end with the VOQ state that defined them.
+	if m.frx != nil {
+		m.frx.EpisodeEndAll(node.ID, m.now())
+	}
 
 	// Parked packets die with the switch.
 	for _, v := range m.voqs {

@@ -12,6 +12,7 @@ import (
 
 	"floodgate/internal/cc"
 	"floodgate/internal/fault"
+	"floodgate/internal/forensics"
 	"floodgate/internal/packet"
 	"floodgate/internal/sim"
 	"floodgate/internal/stats"
@@ -62,6 +63,11 @@ func NewCluster(base Config, engines []*sim.Engine, collectors []*stats.Collecto
 		cfg := base
 		cfg.Engine = engines[i]
 		cfg.Stats = collectors[i]
+		if i > 0 && base.Forensics != nil {
+			// Each shard records into its own sibling; BuildReport merges
+			// them deterministically (shared-nothing, like the collectors).
+			cfg.Forensics = base.Forensics.Sibling()
+		}
 		cfg.Shard = &ShardSpec{Index: i, Assign: assign}
 		c.Nets[i] = New(cfg)
 	}
@@ -160,6 +166,9 @@ func (c *Cluster) SealFlows() {
 	c.sealed = true
 	for _, n := range c.Nets {
 		n.flows = c.flows
+		if n.frx != nil {
+			n.frx.Seal(len(c.flows))
+		}
 	}
 	for si, n := range c.Nets {
 		var own []*Flow
@@ -178,6 +187,18 @@ func (c *Cluster) SealFlows() {
 
 // Flows returns all registered flows (reporting helper).
 func (c *Cluster) Flows() []*Flow { return c.flows[1:] }
+
+// Recorders returns each shard's forensics recorder in shard order;
+// empty when forensics is disabled.
+func (c *Cluster) Recorders() []*forensics.Recorder {
+	var rs []*forensics.Recorder
+	for _, n := range c.Nets {
+		if n.frx != nil {
+			rs = append(rs, n.frx)
+		}
+	}
+	return rs
+}
 
 // InstallFaults arms the plan on every shard; each schedules only the
 // sub-events touching its own devices (see faults.go).

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"floodgate/internal/cc"
+	"floodgate/internal/forensics"
 	"floodgate/internal/packet"
 	"floodgate/internal/sim"
 	"floodgate/internal/topo"
@@ -103,6 +104,7 @@ type Host struct {
 
 	pfcPaused bool
 	pfcStart  units.Time
+	pfcCum    units.Duration // closed PFC pause time (forensics overlap basis)
 
 	pausedDst   map[packet.NodeID]bool
 	pausedFlows map[packet.FlowID]bool // BFC per-flow (NIC-queue) pause
@@ -169,6 +171,24 @@ func (h *Host) startFlow(f *Flow) {
 	h.kick()
 }
 
+// pauseCumNow is the host's cumulative PFC-paused duration at now,
+// including the still-open interval. Forensics uses the difference of
+// two readings to split a sendable wait into busy and paused parts.
+func (h *Host) pauseCumNow(now units.Time) units.Duration {
+	c := h.pfcCum
+	if h.pfcPaused {
+		c += now.Sub(h.pfcStart)
+	}
+	return c
+}
+
+// frxFlow records a sender wait-state transition. Callers gate on
+// h.net.frx != nil so the disabled path is one load and branch.
+func (h *Host) frxFlow(f *Flow, st forensics.SendState) {
+	now := h.net.Eng.Now()
+	h.net.frx.FlowState(f.ID, st, now, h.pauseCumNow(now))
+}
+
 // wantsSend reports whether the flow has anything left to emit.
 func (f *Flow) wantsSend(ndp bool) bool {
 	if f.senderDone {
@@ -188,6 +208,9 @@ func (h *Host) enqueue(f *Flow) {
 	}
 	f.queued = true
 	h.sendq = append(h.sendq, f)
+	if h.net.frx != nil {
+		h.frxFlow(f, forensics.SendSendable)
+	}
 }
 
 // popSendq removes the next queued flow, compacting lazily.
@@ -224,6 +247,7 @@ func (h *Host) receive(p *packet.Packet) {
 	case packet.PFCResume:
 		if h.pfcPaused {
 			h.pfcPaused = false
+			h.pfcCum += now.Sub(h.pfcStart)
 			h.net.Stats.PFCPaused(topo.LayerHost, now.Sub(h.pfcStart))
 			h.net.Metrics.PFCPortsPaused.Add(-1)
 			h.kick()
@@ -289,6 +313,7 @@ func (h *Host) clearPFC() {
 		return
 	}
 	h.pfcPaused = false
+	h.pfcCum += h.net.Eng.Now().Sub(h.pfcStart)
 	h.net.Stats.PFCPaused(topo.LayerHost, h.net.Eng.Now().Sub(h.pfcStart))
 	h.net.Metrics.PFCPortsPaused.Add(-1)
 	h.kick()
@@ -325,6 +350,7 @@ func (h *Host) wakeAll() {
 // finalizePFC closes an open host pause interval at the end of a run.
 func (h *Host) finalizePFC() {
 	if h.pfcPaused {
+		h.pfcCum += h.net.Eng.Now().Sub(h.pfcStart)
 		h.net.Stats.PFCPaused(topo.LayerHost, h.net.Eng.Now().Sub(h.pfcStart))
 		h.pfcStart = h.net.Eng.Now()
 	}
@@ -583,16 +609,25 @@ func (h *Host) kick() {
 		}
 		f.queued = false
 		if !f.wantsSend(ndp) {
+			if h.net.frx != nil {
+				h.frxFlow(f, forensics.SendNet)
+			}
 			continue
 		}
 		if (len(h.pausedDst) != 0 && h.pausedDst[f.Dst]) ||
 			(len(h.pausedFlows) != 0 && h.pausedFlows[f.ID]) {
+			if h.net.frx != nil {
+				h.frxFlow(f, forensics.SendPaused)
+			}
 			continue // resume re-enqueues
 		}
 		if ndp {
 			canRtx := len(f.rtxQ) > 0 && f.pullCredits > 0
 			canNew := f.sndNxt < f.Size && (f.sndNxt < h.net.BaseBDP() || f.pullCredits > 0)
 			if !canRtx && !canNew {
+				if h.net.frx != nil {
+					h.frxFlow(f, forensics.SendWindow)
+				}
 				continue // a Pull re-enqueues
 			}
 		} else {
@@ -601,11 +636,17 @@ func (h *Host) kick() {
 				payload = MSS
 			}
 			if f.inflight() > 0 && f.inflight()+payload > f.ctrl.Window() {
+				if h.net.frx != nil {
+					h.frxFlow(f, forensics.SendWindow)
+				}
 				continue // an ACK re-enqueues
 			}
 			if f.nextSend > now {
 				// Pacing: the flow stays owed to the queue; its wake
 				// timer re-enqueues it.
+				if h.net.frx != nil {
+					h.frxFlow(f, forensics.SendPaced)
+				}
 				f.queued = true
 				h.net.Eng.AtArg(f.nextSend, flowWakeFn, f)
 				continue
@@ -655,6 +696,11 @@ func (h *Host) sendSegment(f *Flow, now units.Time) {
 	f.ctrl.OnSend(now, p.Size)
 	h.armRTO(f)
 	h.enqueue(f) // rotate to the queue tail if more remains
+	if h.net.frx != nil && !f.queued {
+		// Everything emitted: the flow now waits on the network. A later
+		// re-enqueue (NACK, RTO rewind) closes this interval as rtx waste.
+		h.frxFlow(f, forensics.SendNet)
+	}
 	h.net.TraceEvent(trace.OpSend, h.node.ID, p)
 	if isRtx {
 		h.net.Metrics.RetxSegments.Inc()

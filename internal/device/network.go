@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"floodgate/internal/cc"
+	"floodgate/internal/forensics"
 	"floodgate/internal/packet"
 	"floodgate/internal/sim"
 	"floodgate/internal/stats"
@@ -105,6 +106,12 @@ type Config struct {
 	// trace package). Disabled tracing costs one nil check per event.
 	Trace *trace.Buffer
 
+	// Forensics, when non-nil, receives causal wait-state hooks (see
+	// the forensics package). Each shard must get its own recorder
+	// (Cluster forks siblings); disabled forensics costs one nil check
+	// per hook site and allocates nothing.
+	Forensics *forensics.Recorder
+
 	// Metrics carries the instrument handles the devices update. The
 	// zero value is inert (nil-safe handles), so unmetered runs pay
 	// only embedded nil checks.
@@ -176,6 +183,10 @@ type Network struct {
 	flows   []*Flow // indexed by FlowID (ids are dense, starting at 1)
 	pktPool []*packet.Packet
 
+	// frx is this shard's forensics recorder (nil when disabled); every
+	// hook site checks it before doing any work.
+	frx *forensics.Recorder
+
 	// faults is the runtime fault-plane state (nil without a plan); see
 	// faults.go. delivered is the global payload-progress counter the
 	// stall watchdog monitors.
@@ -201,6 +212,7 @@ func New(cfg Config) *Network {
 		Switches:  make([]*Switch, len(cfg.Topo.Nodes)),
 		HostsByID: make([]*Host, len(cfg.Topo.Nodes)),
 		flows:     []*Flow{nil}, // FlowID 0 is unused
+		frx:       cfg.Forensics,
 	}
 	if sp := cfg.Shard; sp != nil {
 		// Distinct pktID streams per shard (ids are debug/trace labels;
@@ -312,6 +324,22 @@ func (n *Network) TraceEvent(op trace.Op, node packet.NodeID, p *packet.Packet) 
 		n.Cfg.Trace.Record(trace.Of(n.Eng.Now(), op, node, p))
 	}
 }
+
+// TraceAux records a lifecycle point carrying an op-specific
+// counterpart node in the event's Aux field (the credited flow
+// destination on OpCredit, the credit's source switch on OpUnpark) so
+// the Perfetto exporter can link cause to effect.
+func (n *Network) TraceAux(op trace.Op, node packet.NodeID, p *packet.Packet, aux packet.NodeID) {
+	if n.Cfg.Trace != nil {
+		e := trace.Of(n.Eng.Now(), op, node, p)
+		e.Aux = aux
+		n.Cfg.Trace.Record(e)
+	}
+}
+
+// ForensicsRec returns the shard's forensics recorder (nil when
+// disabled); flow-control modules cache it at construction.
+func (n *Network) ForensicsRec() *forensics.Recorder { return n.frx }
 
 // TraceFlow records a packet-less flow lifecycle point (e.g. an RTO
 // rewind, which has no frame to borrow fields from): Seq carries the

@@ -73,6 +73,7 @@ type Switch struct {
 	pausedUpCount  int
 	pausedSelf     []bool // our egress i is paused by the peer's PFC
 	pauseStart     []units.Time
+	pauseCum       []units.Duration // per egress: closed pause time (forensics overlap basis)
 
 	portBytes []units.ByteSize // per egress port: queued + parked bytes (stats)
 }
@@ -88,6 +89,7 @@ func newSwitch(n *Network, node *topo.Node) *Switch {
 		pausedUpstream: make([]bool, len(node.Ports)),
 		pausedSelf:     make([]bool, len(node.Ports)),
 		pauseStart:     make([]units.Time, len(node.Ports)),
+		pauseCum:       make([]units.Duration, len(node.Ports)),
 		portBytes:      make([]units.ByteSize, len(node.Ports)),
 	}
 	for i := range sw.out {
@@ -215,6 +217,15 @@ func (s *Switch) enqueueData(p *packet.Packet, out, queue int) {
 		s.maybeMark(p, out)
 	}
 	p.EnqueuedAt = s.net.Eng.Now()
+	if s.net.frx != nil && p.Last && !p.Trimmed {
+		// Stamp the egress pause-cum so dequeue can split this packet's
+		// FIFO wait into queueing and PFC-blocked time.
+		c := s.pauseCum[out]
+		if s.pausedSelf[out] {
+			c += s.net.Eng.Now().Sub(s.pauseStart[out])
+		}
+		p.EnqPauseCum = c
+	}
 	o.data[queue].push(p)
 	s.notePort(out, p.Size)
 	s.net.TraceEvent(trace.OpEnqueue, s.node.ID, p)
@@ -340,6 +351,7 @@ func (s *Switch) resumeSelf(i int) {
 		return
 	}
 	s.pausedSelf[i] = false
+	s.pauseCum[i] += s.net.Eng.Now().Sub(s.pauseStart[i])
 	s.net.Stats.PFCPaused(s.node.Layer, s.net.Eng.Now().Sub(s.pauseStart[i]))
 	s.net.Metrics.PFCPortsPaused.Add(-1)
 	s.kick(i)
@@ -349,6 +361,7 @@ func (s *Switch) resumeSelf(i int) {
 func (s *Switch) finalizePFC() {
 	for i, paused := range s.pausedSelf {
 		if paused {
+			s.pauseCum[i] += s.net.Eng.Now().Sub(s.pauseStart[i])
 			s.net.Stats.PFCPaused(s.node.Layer, s.net.Eng.Now().Sub(s.pauseStart[i]))
 			s.pauseStart[i] = s.net.Eng.Now()
 		}
@@ -421,6 +434,13 @@ func (s *Switch) transmit(p *packet.Packet, i, queue int) {
 			n.Metrics.QueueDelay.Observe(int64(now.Sub(p.EnqueuedAt)))
 		}
 		s.fc.OnDequeue(p, i, queue)
+		if n.frx != nil && p.Last && !p.Trimmed {
+			// Final-segment hop attribution. The port cannot be paused at a
+			// data dequeue (pick skips paused ports), so pauseCum[i] is
+			// closed and the PFC overlap is its advance since enqueue.
+			wait := now.Sub(p.EnqueuedAt)
+			n.frx.Hop(p.Flow, wait, s.pauseCum[i]-p.EnqPauseCum, units.TxTime(p.Size, o.tp.Rate))
+		}
 		if n.Cfg.INT && !p.Trimmed {
 			q := s.out[i].dataBytes()
 			if sig := s.fc.QueueSignal(p, i); sig > q {

@@ -108,9 +108,15 @@ func RunFaultScenario(name string, o Options) ([]Table, error) {
 
 func faultTables(scs []faultScenario, o Options) []Table {
 	o = o.norm()
+	hdr := []string{"scenario", "scheme", "completed", "goodput", "linkEvts", "restarts", "resyncs", "stalled"}
+	if o.Obs.Forensics {
+		// Attribution columns ride along only when forensics is on, so
+		// the base table stays byte-identical with it off.
+		hdr = append(hdr, "parked", "episodes")
+	}
 	t := Table{
 		Title:  "Fault matrix: incast mix under injected fabric faults",
-		Header: []string{"scenario", "scheme", "completed", "goodput", "linkEvts", "restarts", "resyncs", "stalled"},
+		Header: hdr,
 	}
 	rows := runJobs(o, 2*len(scs), func(idx int) []string {
 		sc := scs[idx/2]
@@ -132,13 +138,19 @@ func faultTables(scs []faultScenario, o Options) []Table {
 		if res.Stalled {
 			stalled = "STALLED"
 		}
-		return []string{sc.name, s.Name,
+		row := []string{sc.name, s.Name,
 			fmt.Sprintf("%d/%d", res.Completed, res.Total),
 			fmtRate(units.Rate(res.DeliveredBytes(), dur)),
 			fmt.Sprintf("%d", fs.LinkEvents),
 			fmt.Sprintf("%d", fs.Restarts),
 			fmt.Sprintf("%d", fs.Resyncs),
 			stalled}
+		if res.Forensics != nil {
+			row = append(row,
+				fmtDur(res.Forensics.TotalParked),
+				fmt.Sprintf("%d", len(res.Forensics.Episodes)))
+		}
+		return row
 	})
 	t.Rows = rows
 	t.Comment = "extension: every scenario should complete (no STALLED rows); resyncs > 0 on restart rows shows switchSYN epoch recovery engaging"

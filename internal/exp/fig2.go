@@ -18,8 +18,9 @@ import (
 func Fig2(o Options) []Table {
 	o = o.norm()
 	// One job per scheme, each building its own topology and run; the
-	// per-scheme tables assemble in submission order.
-	return runJobs(o, 2, func(idx int) Table {
+	// per-scheme tables assemble in submission order. With forensics on,
+	// each scheme also yields an FCT attribution table.
+	groups := runJobs(o, 2, func(idx int) []Table {
 		tp := o.leafSpine()
 		s := DCQCN(o)
 		if idx == 1 {
@@ -53,8 +54,17 @@ func Fig2(o Options) []Table {
 			}
 		}
 		t.Comment = fmt.Sprintf("first victim-of-incast delivery at %v; paper: 1.8ms w/o Floodgate, immediate with", firstVictim)
-		return t
+		out := []Table{t}
+		if res.Forensics != nil {
+			out = append(out, AttributionTable("Fig 2: FCT time budget — "+s.Name, res.Forensics))
+		}
+		return out
 	})
+	var tables []Table
+	for _, g := range groups {
+		tables = append(tables, g...)
+	}
+	return tables
 }
 
 func maxLen(ns ...int) int {

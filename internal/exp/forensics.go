@@ -1,0 +1,47 @@
+package exp
+
+// Attribution tables: render a run's forensics report (see
+// internal/forensics) as experiment tables. Experiments only append
+// these when Options.Obs.Forensics is set, so the base tables stay
+// byte-identical with forensics off.
+
+import (
+	"fmt"
+
+	"floodgate/internal/forensics"
+	"floodgate/internal/units"
+)
+
+// AttributionTable renders the per-flow FCT time budget as component
+// quantiles plus each component's share of total attributed time. The
+// comment carries the report's "why was p99 slow" summary.
+func AttributionTable(title string, rep *forensics.Report) Table {
+	t := Table{
+		Title:  title,
+		Header: []string{"component", "p50", "p99", "share"},
+	}
+	q := rep.ComponentQuantiles()
+	var totals [forensics.NumComps]units.Duration
+	var grand units.Duration
+	for i := range rep.Flows {
+		fb := &rep.Flows[i]
+		if !fb.Done {
+			continue
+		}
+		for c := forensics.Comp(0); c < forensics.NumComps; c++ {
+			totals[c] += fb.Comp[c]
+			grand += fb.Comp[c]
+		}
+	}
+	for c := forensics.Comp(0); c < forensics.NumComps; c++ {
+		share := "0.0%"
+		if grand > 0 {
+			// Integer pct in tenths: deterministic, no float formatting.
+			pct10 := totals[c] * 1000 / grand
+			share = fmt.Sprintf("%d.%d%%", pct10/10, pct10%10)
+		}
+		t.AddRow(c.String(), fmtDur(q[c].P50), fmtDur(q[c].P99), share)
+	}
+	t.Comment = rep.Summary()
+	return t
+}

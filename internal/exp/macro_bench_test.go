@@ -49,6 +49,41 @@ func BenchmarkRunIncast(b *testing.B) {
 	b.ReportMetric(events/wall, "events/s")
 }
 
+// BenchmarkForensicsOff is the zero-overhead guard for the forensics
+// hooks: the identical workload to BenchmarkRunIncast, run with
+// forensics explicitly disabled (Config.Forensics nil — every hook is
+// one nil-check). benchjson's compare mode pairs it with
+// BenchmarkRunIncast and fails if their allocs/op diverge, so a change
+// that makes a disabled hook allocate (or quietly turns forensics on
+// in the base path) is caught by `make bench-compare` even though the
+// absolute numbers drift with the hardware.
+func BenchmarkForensicsOff(b *testing.B) {
+	o := Options{Scale: 0.25, Seed: 1}.norm()
+	o.Obs.Forensics = false // the disabled-hook path under test
+	b.ReportAllocs()
+	var simSec, events float64
+	for i := 0; i < b.N; i++ {
+		tp := o.leafSpine()
+		specs := pureIncastSpecs(tp, o.Seed)
+		res := Run(RunConfig{
+			Topo: tp, Scheme: WithFloodgate(o, DCQCN(o), baseBDPOf(tp)),
+			Specs: specs, Duration: 2 * units.Millisecond,
+			Seed: o.Seed, Opt: o,
+		})
+		if res.Completed != res.Total {
+			b.Fatalf("flows incomplete: %d/%d", res.Completed, res.Total)
+		}
+		if res.Forensics != nil {
+			b.Fatal("forensics report built with forensics off")
+		}
+		simSec += res.Net.Eng.Now().Seconds()
+		events += float64(res.Net.Eng.Processed)
+	}
+	wall := b.Elapsed().Seconds()
+	b.ReportMetric(simSec/wall, "simsec/wallsec")
+	b.ReportMetric(events/wall, "events/s")
+}
+
 // BenchmarkRunIncastSharded sweeps the shard count over the
 // paper-scale (Scale 1: 160 hosts, 10 ToRs, 4 spines) incast — the
 // "one giant run" the sharded conservative-window executor exists to

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"floodgate/internal/device"
+	"floodgate/internal/forensics"
 	"floodgate/internal/metrics"
 	"floodgate/internal/sim"
 	"floodgate/internal/trace"
@@ -41,6 +42,14 @@ type ObsConfig struct {
 	// Experiment labels the output subdirectory (set by RunByID; adhoc
 	// runs land in "adhoc").
 	Experiment string
+	// Forensics switches on causal flow forensics: per-flow FCT
+	// time-budget attribution and incast-episode detection (see
+	// internal/forensics). Independent of Dir — with Dir set the report
+	// is also written as <label>.forensics.ndjson; without it the
+	// report is only attached to RunResult. Unlike Dir, Forensics
+	// composes with Shards > 1 (each shard records into a sibling
+	// recorder, merged deterministically at the end of the run).
+	Forensics bool
 }
 
 // Enabled reports whether observability output was requested.
@@ -120,8 +129,9 @@ func newObsRun(rc RunConfig, o Options, eng *sim.Engine, dcfg *device.Config) *o
 // start begins periodic sampling (first tick one period in).
 func (ob *obsRun) start() { ob.sampler.Start() }
 
-// export writes the run's NDJSON, CSV and Chrome trace files.
-func (ob *obsRun) export() error {
+// export writes the run's NDJSON, CSV and Chrome trace files, plus the
+// forensics report when one was built (rep may be nil).
+func (ob *obsRun) export(rep *forensics.Report) error {
 	dir := filepath.Join(ob.cfg.Dir, ob.cfg.experiment())
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -146,6 +156,13 @@ func (ob *obsRun) export() error {
 	if ob.tbuf != nil {
 		if err := write(ob.label+".trace.json", func(b *strings.Builder) error {
 			return metrics.WriteChromeTrace(b, ob.tbuf.Events())
+		}); err != nil {
+			return err
+		}
+	}
+	if rep != nil {
+		if err := write(ob.label+".forensics.ndjson", func(b *strings.Builder) error {
+			return rep.WriteNDJSON(b)
 		}); err != nil {
 			return err
 		}

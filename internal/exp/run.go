@@ -6,6 +6,7 @@ import (
 
 	"floodgate/internal/device"
 	"floodgate/internal/fault"
+	"floodgate/internal/forensics"
 	"floodgate/internal/sim"
 	"floodgate/internal/stats"
 	"floodgate/internal/topo"
@@ -232,6 +233,10 @@ type RunResult struct {
 	// explains where the undelivered bytes were stuck.
 	Stalled   bool
 	Diagnosis *StallDiagnosis
+
+	// Forensics is the merged causal-forensics report; nil unless
+	// Options.Obs.Forensics was set.
+	Forensics *forensics.Report
 }
 
 // shardCount is one shard's flow-completion counter. Each shard gets
@@ -318,6 +323,12 @@ func Run(rc RunConfig) *RunResult {
 	if opt.Obs.Enabled() {
 		obs = newObsRun(rc, opt, engines[0], &cfg)
 	}
+	// Forensics recording is shard-safe (NewCluster forks a sibling
+	// recorder per extra shard) and read back only after Finalize, so
+	// unlike the sampler it composes with Shards > 1.
+	if opt.Obs.Forensics {
+		cfg.Forensics = forensics.NewRecorder()
+	}
 	cluster := device.NewCluster(cfg, engines, collectors, topo.Partition(rc.Topo, k))
 	cluster.InstallFaults(rc.Faults, rc.Seed)
 	if obs != nil {
@@ -366,8 +377,20 @@ func Run(rc RunConfig) *RunResult {
 
 	w := runWindows(cluster, units.Time(rc.Duration+drain), horizon, doneCount, total)
 	cluster.Finalize()
+	var frep *forensics.Report
+	if opt.Obs.Forensics {
+		flows := cluster.Flows()
+		metas := make([]forensics.FlowMeta, 0, len(flows))
+		for _, f := range flows {
+			metas = append(metas, forensics.FlowMeta{
+				ID: f.ID, Src: f.Src, Dst: f.Dst, Size: f.Size,
+				Start: f.Start, Finish: f.Finish, Done: f.Done(),
+			})
+		}
+		frep = forensics.BuildReport(cluster.Recorders(), metas)
+	}
 	if obs != nil {
-		if err := obs.export(); err != nil {
+		if err := obs.export(frep); err != nil {
 			panic(fmt.Sprintf("exp: observability export failed: %v", err))
 		}
 	}
@@ -381,6 +404,7 @@ func Run(rc RunConfig) *RunResult {
 		Total:     total,
 		Stalled:   w.stalled,
 		Diagnosis: w.diagnosis,
+		Forensics: frep,
 	}
 }
 

@@ -47,3 +47,32 @@ func ArmEmpty(eng *sim.Engine, d units.Duration) {
 func ArmAllowed(eng *sim.Engine, w *waiter, d units.Duration) {
 	eng.After(d, func() { w.fired++ }) //lint:allow hotpath fixture demonstrates suppression
 }
+
+// recorder stands in for the forensics recorder threaded through hot
+// paths: instrumentation must be a nil-guarded direct call at the hook
+// site, never deferred into a scheduled closure — the capture allocates
+// per packet whether or not recording is enabled.
+type recorder struct{ stamps int }
+
+func (r *recorder) Stamp() { r.stamps++ }
+
+func stampArg(a any) { a.(*recorder).Stamp() }
+
+// ArmForensics captures the recorder in the scheduled closure — the
+// violation the zero-alloc-when-disabled forensics contract forbids.
+func ArmForensics(eng *sim.Engine, rec *recorder, d units.Duration) {
+	eng.After(d, func() {
+		if rec != nil {
+			rec.Stamp()
+		}
+	})
+}
+
+// ArmForensicsGuarded is the conforming shape: the nil check happens
+// inline at schedule time and the recorder rides through the arg
+// parameter capture-free — disabled recording schedules nothing.
+func ArmForensicsGuarded(eng *sim.Engine, rec *recorder, d units.Duration) {
+	if rec != nil {
+		eng.AfterArg(d, stampArg, rec)
+	}
+}

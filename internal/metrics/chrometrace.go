@@ -1,40 +1,190 @@
 // Chrome trace_event export: renders the flight recorder's packet
-// lifecycle as instant events that load directly into Perfetto
-// (ui.perfetto.dev) or chrome://tracing. Rows group by node (pid) and
-// flow (tid), so one incast destination's SEND→ENQ→TX→DLVR ladder and
-// its RETX/RTO storms read straight off the timeline.
+// lifecycle for Perfetto (ui.perfetto.dev) or chrome://tracing. Rows
+// group by node (pid) and flow (tid), named via metadata records, so
+// one incast destination's SEND→ENQ→TX→DLVR ladder and its RETX/RTO
+// storms read straight off the timeline. Where both ends of an
+// interval are in the retained window the exporter emits a complete
+// ("X") span instead of two instants — ENQ→TX becomes a QUEUED span,
+// PARK→UNPARK a PARKED span — and Floodgate's causal chain is drawn
+// as flow arrows: credit emission ("s") → the unpark it triggered
+// ("t") → the released packet's next transmit ("f").
 package metrics
 
 import (
 	"fmt"
 	"io"
+	"sort"
 
+	"floodgate/internal/packet"
 	"floodgate/internal/trace"
+	"floodgate/internal/units"
 )
 
+// pktKey identifies one packet instance at one node: span pairing and
+// arrow finishing both match on it.
+type pktKey struct {
+	node packet.NodeID
+	flow packet.FlowID
+	seq  units.ByteSize
+}
+
+// creditKey identifies a credit stream: the emitting (downstream)
+// switch and the flow destination it credits.
+type creditKey struct {
+	node packet.NodeID
+	dst  packet.NodeID
+}
+
+// arrowRec is one flow-arrow binding attached to an event.
+type arrowRec struct {
+	ph string // "s", "t" or "f"
+	id int64
+}
+
+// ctWriter folds write errors so the render loop stays linear.
+type ctWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *ctWriter) str(s string) {
+	if c.err == nil {
+		_, c.err = io.WriteString(c.w, s)
+	}
+}
+
+func (c *ctWriter) printf(format string, args ...any) {
+	if c.err == nil {
+		_, c.err = fmt.Fprintf(c.w, format, args...)
+	}
+}
+
 // WriteChromeTrace renders trace events in the Chrome trace_event JSON
-// array format. Timestamps are microseconds with the full picosecond
-// resolution preserved in the fractional part. The JSON is built with
+// object format. Timestamps are microseconds with the full picosecond
+// resolution preserved in the fractional part; the JSON is built with
 // integer formatting only — no floats — so output is exact and stable.
+//
+// The export runs two deterministic passes: the first registers every
+// pid/tid for metadata records, pairs open/close ops into spans and
+// binds credit→unpark→transmit arrow chains; the second writes records
+// in event order (metadata first), so identical event slices render
+// identical bytes.
 func WriteChromeTrace(w io.Writer, events []trace.Event) error {
-	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
-		return err
-	}
-	for i, e := range events {
-		sep := ","
-		if i == 0 {
-			sep = ""
+	cw := &ctWriter{w: w}
+	cw.str(`{"traceEvents":[`)
+
+	// Pass 1. Maps are used only for membership and pairing; every
+	// emission walks slices in deterministic order (no map iteration).
+	var pids []int64
+	pidSeen := make(map[int64]bool)
+	type pidTid struct{ pid, tid int64 }
+	var threads []pidTid
+	thrSeen := make(map[pidTid]bool)
+
+	spanDur := make(map[int]int64)   // open-event index -> duration (ps)
+	spanName := make(map[int]string) // open-event index -> span name
+	openEnq := make(map[pktKey]int)
+	openPark := make(map[pktKey]int)
+
+	arrowAt := make(map[int][]arrowRec) // event index -> bindings
+	credits := make(map[creditKey][]int)
+	pendFin := make(map[pktKey]int64)
+	nextArrow := int64(0)
+
+	for i := range events {
+		e := &events[i]
+		pid, tid := int64(e.Node), int64(e.Flow)
+		if !pidSeen[pid] {
+			pidSeen[pid] = true
+			pids = append(pids, pid)
 		}
+		pt := pidTid{pid, tid}
+		if !thrSeen[pt] {
+			thrSeen[pt] = true
+			threads = append(threads, pt)
+		}
+		k := pktKey{e.Node, e.Flow, e.Seq}
+		switch e.Op {
+		case trace.OpEnqueue:
+			openEnq[k] = i
+		case trace.OpPark:
+			openPark[k] = i
+		case trace.OpCredit:
+			// Arrow source: remember the emission; the unpark it triggers
+			// names this switch in Aux and the credited destination in Dst.
+			ck := creditKey{e.Node, e.Aux}
+			credits[ck] = append(credits[ck], i)
+		case trace.OpUnpark:
+			if j, ok := openPark[k]; ok {
+				spanDur[j] = int64(e.At) - int64(events[j].At)
+				spanName[j] = "PARKED"
+				delete(openPark, k)
+			}
+			ck := creditKey{e.Aux, e.Dst}
+			if st := credits[ck]; len(st) > 0 {
+				ci := st[len(st)-1] // latest credit from that switch wins
+				credits[ck] = st[:len(st)-1]
+				id := nextArrow
+				nextArrow++
+				arrowAt[ci] = append(arrowAt[ci], arrowRec{ph: "s", id: id})
+				arrowAt[i] = append(arrowAt[i], arrowRec{ph: "t", id: id})
+				pendFin[k] = id // finish at this packet's next transmit here
+			}
+		case trace.OpTx:
+			if j, ok := openEnq[k]; ok {
+				spanDur[j] = int64(e.At) - int64(events[j].At)
+				spanName[j] = "QUEUED"
+				delete(openEnq, k)
+			}
+			if id, ok := pendFin[k]; ok {
+				arrowAt[i] = append(arrowAt[i], arrowRec{ph: "f", id: id})
+				delete(pendFin, k)
+			}
+		}
+	}
+	sort.Slice(pids, func(a, b int) bool { return pids[a] < pids[b] })
+	sort.Slice(threads, func(a, b int) bool {
+		if threads[a].pid != threads[b].pid {
+			return threads[a].pid < threads[b].pid
+		}
+		return threads[a].tid < threads[b].tid
+	})
+
+	// Pass 2: metadata records, then events in recorded order.
+	sep := ""
+	emit := func(format string, args ...any) {
+		cw.str(sep)
+		sep = ","
+		cw.printf(format, args...)
+	}
+	for _, pid := range pids {
+		emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"node %d"}}`, pid, pid)
+	}
+	for _, pt := range threads {
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"flow %d"}}`, pt.pid, pt.tid, pt.tid)
+	}
+	for i := range events {
+		e := &events[i]
 		ps := int64(e.At)
-		// ph "i" (instant), scope "p" (process = node row).
-		_, err := fmt.Fprintf(w,
-			`%s{"name":%q,"ph":"i","s":"p","ts":%d.%06d,"pid":%d,"tid":%d,"args":{"kind":%q,"seq":%d,"size":%d,"dst":%d}}`,
-			sep, e.Op.String(), ps/1e6, ps%1e6, int64(e.Node), int64(e.Flow),
-			e.Kind.String(), int64(e.Seq), int64(e.Size), int64(e.Dst))
-		if err != nil {
-			return err
+		if d, ok := spanDur[i]; ok {
+			emit(`{"name":%q,"ph":"X","ts":%d.%06d,"dur":%d.%06d,"pid":%d,"tid":%d,"args":{"kind":%q,"seq":%d,"size":%d,"dst":%d}}`,
+				spanName[i], ps/1e6, ps%1e6, d/1e6, d%1e6, int64(e.Node), int64(e.Flow),
+				e.Kind.String(), int64(e.Seq), int64(e.Size), int64(e.Dst))
+		} else {
+			// ph "i" (instant), scope "p" (process = node row).
+			emit(`{"name":%q,"ph":"i","s":"p","ts":%d.%06d,"pid":%d,"tid":%d,"args":{"kind":%q,"seq":%d,"size":%d,"dst":%d}}`,
+				e.Op.String(), ps/1e6, ps%1e6, int64(e.Node), int64(e.Flow),
+				e.Kind.String(), int64(e.Seq), int64(e.Size), int64(e.Dst))
+		}
+		for _, ar := range arrowAt[i] {
+			extra := ""
+			if ar.ph == "f" {
+				extra = `,"bp":"e"` // bind the arrow head to the enclosing slice
+			}
+			emit(`{"name":"credit-unpark","cat":"flow","ph":%q,"id":%d,"ts":%d.%06d,"pid":%d,"tid":%d%s}`,
+				ar.ph, ar.id, ps/1e6, ps%1e6, int64(e.Node), int64(e.Flow), extra)
 		}
 	}
-	_, err := io.WriteString(w, "]}\n")
-	return err
+	cw.str("]}\n")
+	return cw.err
 }

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"floodgate/internal/packet"
+	"floodgate/internal/trace"
+	"floodgate/internal/units"
+)
+
+type ctRec struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Cat  string  `json:"cat"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int64   `json:"pid"`
+	Tid  int64   `json:"tid"`
+	ID   int64   `json:"id"`
+	Bp   string  `json:"bp"`
+}
+
+func decodeTrace(t *testing.T, events []trace.Event) []ctRec {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []ctRec `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	return doc.TraceEvents
+}
+
+func find(recs []ctRec, name, ph string) *ctRec {
+	for i := range recs {
+		if recs[i].Name == name && recs[i].Ph == ph {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+// TestChromeTraceSpans pins the complete-event pairing: an ENQ whose TX
+// is in the window renders as a QUEUED "X" span (at the ENQ time, with
+// the queueing duration), a PARK closed by an UNPARK as a PARKED span.
+// The closing TX/UNPARK stay instants so arrows can bind to them.
+func TestChromeTraceSpans(t *testing.T) {
+	us := units.Time(units.Microsecond)
+	events := []trace.Event{
+		{At: 1 * us, Op: trace.OpEnqueue, Node: 5, Kind: packet.Data, Flow: 7, Seq: 0, Size: 1000, Dst: 2},
+		{At: 3 * us, Op: trace.OpTx, Node: 5, Kind: packet.Data, Flow: 7, Seq: 0, Size: 1000, Dst: 2},
+		{At: 4 * us, Op: trace.OpPark, Node: 5, Kind: packet.Data, Flow: 7, Seq: 1000, Size: 1000, Dst: 2},
+		{At: 6 * us, Op: trace.OpUnpark, Node: 5, Kind: packet.Data, Flow: 7, Seq: 1000, Size: 1000, Dst: 2, Aux: 9},
+		// ENQ with no TX in the window must stay an instant.
+		{At: 8 * us, Op: trace.OpEnqueue, Node: 5, Kind: packet.Data, Flow: 7, Seq: 2000, Size: 1000, Dst: 2},
+	}
+	recs := decodeTrace(t, events)
+	q := find(recs, "QUEUED", "X")
+	if q == nil {
+		t.Fatal("no QUEUED complete event")
+	}
+	if q.Ts != 1 || q.Dur != 2 || q.Pid != 5 || q.Tid != 7 {
+		t.Errorf("QUEUED span = ts %v dur %v pid %d tid %d, want ts 1 dur 2 pid 5 tid 7", q.Ts, q.Dur, q.Pid, q.Tid)
+	}
+	p := find(recs, "PARKED", "X")
+	if p == nil {
+		t.Fatal("no PARKED complete event")
+	}
+	if p.Ts != 4 || p.Dur != 2 {
+		t.Errorf("PARKED span = ts %v dur %v, want ts 4 dur 2", p.Ts, p.Dur)
+	}
+	if find(recs, "TX", "i") == nil || find(recs, "UNPARK", "i") == nil {
+		t.Error("closing TX/UNPARK should remain instants")
+	}
+	// The dangling ENQ (seq 2000) renders as an instant, not a span.
+	enqs := 0
+	for _, r := range recs {
+		if r.Name == "ENQ" && r.Ph == "i" {
+			enqs++
+		}
+	}
+	if enqs != 1 {
+		t.Errorf("dangling ENQ instants = %d, want 1", enqs)
+	}
+}
+
+// TestChromeTraceFlowArrows pins the causal chain: credit emission at
+// the downstream switch starts a flow arrow ("s"), the unpark it
+// triggers steps it ("t"), and the released packet's next transmit at
+// that switch finishes it ("f") — all three sharing one arrow id.
+func TestChromeTraceFlowArrows(t *testing.T) {
+	us := units.Time(units.Microsecond)
+	events := []trace.Event{
+		{At: 4 * us, Op: trace.OpPark, Node: 5, Kind: packet.Data, Flow: 7, Seq: 1000, Size: 1000, Dst: 2},
+		// Credit from switch 9 for flow destination 2.
+		{At: 5 * us, Op: trace.OpCredit, Node: 9, Kind: packet.Credit, Flow: 0, Dst: 2, Aux: 2},
+		// The unpark names the credit's switch (Aux) and destination (Dst).
+		{At: 6 * us, Op: trace.OpUnpark, Node: 5, Kind: packet.Data, Flow: 7, Seq: 1000, Size: 1000, Dst: 2, Aux: 9},
+		{At: 7 * us, Op: trace.OpTx, Node: 5, Kind: packet.Data, Flow: 7, Seq: 1000, Size: 1000, Dst: 2},
+	}
+	recs := decodeTrace(t, events)
+	s := find(recs, "credit-unpark", "s")
+	st := find(recs, "credit-unpark", "t")
+	f := find(recs, "credit-unpark", "f")
+	if s == nil || st == nil || f == nil {
+		t.Fatalf("arrow chain incomplete: s=%v t=%v f=%v", s != nil, st != nil, f != nil)
+	}
+	if s.ID != st.ID || st.ID != f.ID {
+		t.Errorf("arrow ids differ: s=%d t=%d f=%d", s.ID, st.ID, f.ID)
+	}
+	if s.Cat != "flow" || st.Cat != "flow" || f.Cat != "flow" {
+		t.Error("arrow records must share cat \"flow\"")
+	}
+	if s.Pid != 9 || s.Ts != 5 {
+		t.Errorf("arrow start at pid %d ts %v, want credit site pid 9 ts 5", s.Pid, s.Ts)
+	}
+	if st.Pid != 5 || st.Ts != 6 {
+		t.Errorf("arrow step at pid %d ts %v, want unpark site pid 5 ts 6", st.Pid, st.Ts)
+	}
+	if f.Pid != 5 || f.Ts != 7 || f.Bp != "e" {
+		t.Errorf("arrow finish = pid %d ts %v bp %q, want pid 5 ts 7 bp \"e\"", f.Pid, f.Ts, f.Bp)
+	}
+}
+
+// TestChromeTraceMetadataOrder pins deterministic metadata: one
+// process_name per node and one thread_name per (node, flow), sorted,
+// ahead of all event records.
+func TestChromeTraceMetadataOrder(t *testing.T) {
+	us := units.Time(units.Microsecond)
+	events := []trace.Event{
+		{At: 1 * us, Op: trace.OpSend, Node: 9, Flow: 3},
+		{At: 2 * us, Op: trace.OpSend, Node: 5, Flow: 7},
+		{At: 3 * us, Op: trace.OpSend, Node: 5, Flow: 1},
+	}
+	recs := decodeTrace(t, events)
+	wantPids := []int64{5, 9}
+	for i, pid := range wantPids {
+		if recs[i].Name != "process_name" || recs[i].Pid != pid {
+			t.Errorf("record %d = %+v, want process_name pid %d", i, recs[i], pid)
+		}
+	}
+	wantThreads := [][2]int64{{5, 1}, {5, 7}, {9, 3}}
+	for i, pt := range wantThreads {
+		r := recs[len(wantPids)+i]
+		if r.Name != "thread_name" || r.Pid != pt[0] || r.Tid != pt[1] {
+			t.Errorf("record %d = %+v, want thread_name pid %d tid %d", len(wantPids)+i, r, pt[0], pt[1])
+		}
+	}
+	for _, r := range recs[len(wantPids)+len(wantThreads):] {
+		if r.Ph == "M" {
+			t.Errorf("metadata record %+v after event records", r)
+		}
+	}
+}

@@ -347,10 +347,18 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
 	}
-	if len(doc.TraceEvents) != 2 {
-		t.Fatalf("events = %d, want 2", len(doc.TraceEvents))
+	// One process_name + one thread_name metadata record, then the two
+	// lifecycle instants.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(doc.TraceEvents))
 	}
-	e0 := doc.TraceEvents[0]
+	if m := doc.TraceEvents[0]; m.Name != "process_name" || m.Ph != "M" || m.Pid != 3 {
+		t.Errorf("bad process metadata: %+v", m)
+	}
+	if m := doc.TraceEvents[1]; m.Name != "thread_name" || m.Ph != "M" || m.Pid != 3 || m.Tid != 7 {
+		t.Errorf("bad thread metadata: %+v", m)
+	}
+	e0 := doc.TraceEvents[2]
 	if e0.Name != "SEND" || e0.Ph != "i" || e0.Pid != 3 || e0.Tid != 7 || e0.Args.Kind != "DATA" {
 		t.Errorf("bad event 0: %+v", e0)
 	}
@@ -358,8 +366,8 @@ func TestWriteChromeTrace(t *testing.T) {
 	if e0.Ts != 1.5 {
 		t.Errorf("ts = %v µs, want 1.5", e0.Ts)
 	}
-	if doc.TraceEvents[1].Name != "RETX" || doc.TraceEvents[1].Args.Seq != 1000 {
-		t.Errorf("bad event 1: %+v", doc.TraceEvents[1])
+	if doc.TraceEvents[3].Name != "RETX" || doc.TraceEvents[3].Args.Seq != 1000 {
+		t.Errorf("bad event 1: %+v", doc.TraceEvents[3])
 	}
 	// Empty input must still be a valid document.
 	buf.Reset()

@@ -169,6 +169,12 @@ type Packet struct {
 	InPort     int32      // ingress port index at the current switch (-1 at origin)
 	EnqueuedAt units.Time // when it entered the current queue
 
+	// EnqPauseCum is the egress port's cumulative PFC-paused duration at
+	// the moment this packet was enqueued, stamped only when forensics is
+	// enabled. At dequeue, pauseCum-now minus this value is the portion
+	// of the packet's queueing wait attributable to PFC backpressure.
+	EnqPauseCum units.Duration
+
 	// Bookkeeping for statistics.
 	SentAt   units.Time // when the source host first serialised it
 	HopCount int8

@@ -31,10 +31,11 @@ const (
 	OpResume            // resume frame emitted
 	OpRetx              // go-back-N or NDP segment retransmission
 	OpRTO               // retransmission timeout fired (sender rewound)
+	OpUnpark            // flow-control module released a parked packet (credit arrived)
 	nOps
 )
 
-var opNames = [nOps]string{"SEND", "ENQ", "PARK", "TX", "DLVR", "DROP", "CREDIT", "PAUSE", "RESUME", "RETX", "RTO"}
+var opNames = [nOps]string{"SEND", "ENQ", "PARK", "TX", "DLVR", "DROP", "CREDIT", "PAUSE", "RESUME", "RETX", "RTO", "UNPARK"}
 
 func (o Op) String() string {
 	if o < nOps {
@@ -53,6 +54,11 @@ type Event struct {
 	Seq  units.ByteSize
 	Size units.ByteSize
 	Dst  packet.NodeID
+	// Aux carries an op-specific counterpart node: for OpCredit the
+	// credited flow destination, for OpUnpark the upstream switch the
+	// releasing credit came from. Zero otherwise. The Perfetto exporter
+	// uses it to draw cause→effect flow arrows (credit → unpark).
+	Aux packet.NodeID
 }
 
 func (e Event) String() string {

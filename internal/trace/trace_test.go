@@ -133,13 +133,16 @@ func TestEndToEndLifecycle(t *testing.T) {
 
 // TestParkTraced checks Floodgate VOQ parking shows in the trace.
 func TestOpNames(t *testing.T) {
-	for op := trace.OpSend; op <= trace.OpRTO; op++ {
+	for op := trace.OpSend; op <= trace.OpUnpark; op++ {
 		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
 			t.Fatalf("op %d has no name", op)
 		}
 	}
 	if trace.OpRetx.String() != "RETX" || trace.OpRTO.String() != "RTO" {
 		t.Fatalf("retransmission op names: %q %q", trace.OpRetx, trace.OpRTO)
+	}
+	if trace.OpUnpark.String() != "UNPARK" {
+		t.Fatalf("unpark op name: %q", trace.OpUnpark)
 	}
 }
 
@@ -181,5 +184,31 @@ func TestKindFilter(t *testing.T) {
 	c.Record(trace.Event{Node: 6, Kind: packet.Credit})
 	if c.Total() != 1 {
 		t.Fatalf("combined filter matched %d, want 1", c.Total())
+	}
+}
+
+// TestFilterComposition pins that every populated Filter field must
+// match (conjunction): node + kind + op together select exactly the
+// events satisfying all three, and an event failing any single
+// dimension is rejected.
+func TestFilterComposition(t *testing.T) {
+	f := trace.Filter{
+		Node:  5,
+		Ops:   map[trace.Op]bool{trace.OpCredit: true, trace.OpUnpark: true},
+		Kinds: map[packet.Kind]bool{packet.Data: true, packet.Credit: true},
+	}
+	b := trace.NewBuffer(16, f)
+	b.Record(trace.Event{Node: 5, Op: trace.OpCredit, Kind: packet.Credit}) // all match
+	b.Record(trace.Event{Node: 5, Op: trace.OpUnpark, Kind: packet.Data})   // all match
+	b.Record(trace.Event{Node: 6, Op: trace.OpCredit, Kind: packet.Credit}) // wrong node
+	b.Record(trace.Event{Node: 5, Op: trace.OpSend, Kind: packet.Data})     // wrong op
+	b.Record(trace.Event{Node: 5, Op: trace.OpUnpark, Kind: packet.Ack})    // wrong kind
+	if b.Total() != 2 {
+		t.Fatalf("composed filter matched %d, want 2", b.Total())
+	}
+	for _, e := range b.Events() {
+		if e.Node != 5 || !f.Ops[e.Op] || !f.Kinds[e.Kind] {
+			t.Fatalf("retained non-matching event %v", e)
+		}
 	}
 }
