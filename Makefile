@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-fix-baseline bench bench-json bench-smoke bench-compare profile obs-smoke fault-smoke shard-smoke forensics-smoke ci
+.PHONY: build test race vet lint lint-fix-baseline bench bench-json bench-smoke bench-compare profile obs-smoke fault-smoke shard-smoke forensics-smoke app-smoke ci
 
 build:
 	$(GO) build ./...
@@ -48,7 +48,7 @@ bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem \
 		./internal/sim ./internal/metrics; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkForensicsOff' -benchmem -benchtime 10x \
-		./internal/exp; } | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
+		./internal/exp; } | $(GO) run ./cmd/benchjson -o BENCH_PR9.json
 
 # One-iteration macro benchmarks: catches bit-rot in the benchmark
 # harness (and hot-path allocation regressions via benchjson's gate,
@@ -62,7 +62,7 @@ bench-smoke:
 		./internal/exp; } | $(GO) run ./cmd/benchjson > /dev/null
 
 # Regression compare: a fresh short benchmark run diffed against the
-# committed BENCH_PR8.json snapshot. The wide tolerance (35%) absorbs
+# committed BENCH_PR9.json snapshot. The wide tolerance (35%) absorbs
 # scheduling noise from the 3-iteration run and shared CI hardware —
 # this gate exists to catch step-change regressions (an accidental
 # O(n^2), a hot path starting to allocate), not single-digit drift; the
@@ -72,7 +72,7 @@ bench-compare:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkEngineCore|BenchmarkMetrics' -benchmem -benchtime 100ms \
 		./internal/sim ./internal/metrics; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkRun|BenchmarkForensicsOff' -benchmem -benchtime 3x \
-		./internal/exp; } | $(GO) run ./cmd/benchjson -compare BENCH_PR8.json -tol 35 > /dev/null
+		./internal/exp; } | $(GO) run ./cmd/benchjson -compare BENCH_PR9.json -tol 35 > /dev/null
 
 # CPU + heap profile of the macro incast benchmark; inspect with
 # `go tool pprof cpu.out`. floodsim -cpuprofile/-memprofile profile a
@@ -121,4 +121,17 @@ forensics-smoke:
 		{ echo "forensics-smoke: no .forensics.ndjson written"; exit 1; }
 	@rm -rf .forensics-smoke
 
-ci: build lint test race obs-smoke fault-smoke shard-smoke forensics-smoke bench-smoke bench-compare
+# Application-plane smoke: a tiny closed-loop sloincast run end to end
+# through floodsim (deadline timers, retries, breaker, SLO table), plus
+# the experiment's acceptance gates — timeouts actually fire under
+# DCQCN with retry amplification above 1, Floodgate stays clean, and
+# the rendered SLO table parses column for column. The full
+# shards x par x scheduler bit-identity matrix for the app plane runs
+# in `make test` (TestSLOIncastShardDeterminism).
+app-smoke:
+	$(GO) run ./cmd/floodsim -exp sloincast -scale 0.1 > /dev/null
+	$(GO) test -count=1 ./internal/app
+	$(GO) test -count=1 -run 'TestSLOIncastDifferentiates|TestSLOIncastSmoke|TestRunFlowFile' ./internal/exp
+	$(GO) test -count=1 -run 'TestSpec' ./internal/workload
+
+ci: build lint test race obs-smoke fault-smoke shard-smoke forensics-smoke app-smoke bench-smoke bench-compare

@@ -58,6 +58,8 @@ func main() {
 		faults     = flag.String("faults", "", "run one fault-injection scenario, or 'list'")
 		forensics  = flag.Bool("forensics", false, "causal flow forensics: FCT time-budget attribution + incast episodes (requires -obs; writes <label>.forensics.ndjson)")
 		sched      = flag.String("sched", "wheel", "event scheduler: wheel (default) or heap; output is identical")
+		appOn      = flag.Bool("app", false, "overlay the closed-loop application plane on experiments that support it (adds SLO columns to faultmatrix); 'sloincast' runs it regardless")
+		flowsFrom  = flag.String("flows-from", "", "replay an NDJSON flow file (one {src,dst,size,start_ps,cat} object per line, sorted by start_ps)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -125,8 +127,24 @@ func main() {
 		schedOpt = floodgate.SchedHeap
 	}
 
-	if *faults != "" {
+	if *flowsFrom != "" {
 		o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt, Shards: *shards}
+		start := time.Now() //lint:allow walltime progress reporting times the real run, not the simulation
+		tables, err := floodgate.RunFlowFile(*flowsFrom, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "floodsim:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		fmt.Printf("[flows-from %s done in %v at scale %.2f]\n", *flowsFrom,
+			time.Since(start).Round(time.Millisecond), *scale) //lint:allow walltime progress reporting times the real run, not the simulation
+		return
+	}
+
+	if *faults != "" {
+		o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt, Shards: *shards, App: *appOn}
 		start := time.Now() //lint:allow walltime progress reporting times the real run, not the simulation
 		tables, err := floodgate.RunFaultScenario(*faults, o)
 		if err != nil {
@@ -153,7 +171,7 @@ func main() {
 		return
 	}
 
-	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt, Shards: *shards}
+	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt, Shards: *shards, App: *appOn}
 	if *obsDir != "" {
 		o.Obs = floodgate.ObsConfig{Dir: *obsDir, Period: floodgate.FromNanos(sample.Nanoseconds())}
 	}

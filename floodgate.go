@@ -22,6 +22,7 @@
 package floodgate
 
 import (
+	"floodgate/internal/app"
 	"floodgate/internal/core"
 	"floodgate/internal/device"
 	"floodgate/internal/exp"
@@ -271,6 +272,44 @@ var (
 	SuccessiveIncast = workload.SuccessiveIncast
 	MergeSpecs       = workload.Merge
 	CrossRackSenders = workload.CrossRackSenders
+)
+
+// Flow files: stream FlowSpecs from NDJSON (one integer-valued JSON
+// object per line, sorted by start_ps) instead of materializing them;
+// WriteFlowSpecs freezes a generated workload to the same format
+// byte-stably. Wire a reader into a run via RunConfig.Source.
+type (
+	SpecSource = workload.SpecSource
+	SpecReader = workload.SpecReader
+)
+
+var (
+	OpenSpecFile   = workload.OpenSpecFile
+	NewSpecReader  = workload.NewSpecReader
+	WriteFlowSpecs = workload.WriteSpecs
+)
+
+// RunFlowFile replays an NDJSON flow file against DCQCN and
+// DCQCN+Floodgate and reports per-scheme FCT and goodput
+// (floodsim -flows-from).
+func RunFlowFile(path string, o Options) ([]Table, error) { return exp.RunFlowFile(path, o) }
+
+// ---- Application plane (closed loop) ----
+
+// The app plane (RunConfig.App) issues partition-aggregate requests
+// with deadlines over the simulated fabric: timeouts retry under a
+// pluggable policy, hedges race slow attempts, budgets and circuit
+// breakers bound the retry storm, and RunResult.SLO scores what the
+// application saw. The "sloincast" experiment is its standard harness.
+type (
+	AppConfig   = app.Config
+	AppBreaker  = app.Breaker
+	RetryPolicy = app.RetryPolicy
+	FixedRetry  = app.FixedRetry
+	ExpBackoff  = app.ExpBackoff
+	Hedged      = app.Hedged
+	AppRecord   = app.Record
+	SLO         = app.SLO
 )
 
 // NewRand returns the deterministic random source used throughout.

@@ -36,9 +36,10 @@ type Cluster struct {
 	Assign []int      // NodeID -> shard index
 	Nets   []*Network // one per shard
 
-	flows  []*Flow // shared flow table; [0] is the nil sentinel
-	sealed bool
-	xlinks []*xlink // in global directed-port order (determinism)
+	flows     []*Flow // shared flow table; [0] is the nil sentinel
+	lastStart units.Time
+	sealed    bool
+	xlinks    []*xlink // in global directed-port order (determinism)
 }
 
 // NewCluster builds k shard networks over one topology. base supplies
@@ -100,6 +101,31 @@ func (c *Cluster) K() int { return len(c.Nets) }
 // FlowID sequence and each shard's injection order are part of the
 // deterministic contract.
 func (c *Cluster) AddFlow(src, dst packet.NodeID, size units.ByteSize, start units.Time, cat packet.Category) *Flow {
+	if len(c.flows) > 1 && start < c.lastStart {
+		panic("device: AddFlow starts must be non-decreasing (sort specs by Start)")
+	}
+	c.lastStart = start
+	return c.newFlow(src, dst, size, start, cat)
+}
+
+// AddAppFlow registers a deferred application-plane flow: the per-shard
+// injection chains skip it and it starts only when the shard that owns
+// its source calls Network.Launch at runtime. Registration order still
+// assigns FlowIDs, so the attempt-flow table is part of the
+// deterministic contract; attempt (>= 1) stamps the flow for forensics
+// and trace attribution. Start carries the earliest possible launch
+// time (informative until Launch overwrites it with the real one).
+func (c *Cluster) AddAppFlow(src, dst packet.NodeID, size units.ByteSize, start units.Time, cat packet.Category, attempt int) *Flow {
+	if attempt < 1 {
+		panic("device: AddAppFlow attempt must be >= 1")
+	}
+	f := c.newFlow(src, dst, size, start, cat)
+	f.Attempt = attempt
+	f.manual = true
+	return f
+}
+
+func (c *Cluster) newFlow(src, dst packet.NodeID, size units.ByteSize, start units.Time, cat packet.Category) *Flow {
 	if c.sealed {
 		panic("device: AddFlow after SealFlows")
 	}
@@ -108,9 +134,6 @@ func (c *Cluster) AddFlow(src, dst packet.NodeID, size units.ByteSize, start uni
 	}
 	if size <= 0 {
 		panic("device: flow with non-positive size")
-	}
-	if n := len(c.flows); n > 1 && start < c.flows[n-1].Start {
-		panic("device: AddFlow starts must be non-decreasing (sort specs by Start)")
 	}
 	sn := c.Nets[c.Assign[src]]
 	sh := sn.HostsByID[src]
@@ -173,6 +196,9 @@ func (c *Cluster) SealFlows() {
 	for si, n := range c.Nets {
 		var own []*Flow
 		for _, f := range c.flows[1:] {
+			if f.manual {
+				continue // application-launched (Network.Launch), not injected
+			}
 			if c.Assign[f.Src] == si {
 				own = append(own, f)
 			}

@@ -28,8 +28,21 @@ type Flow struct {
 	Cat   packet.Category
 	Start units.Time
 
+	// Attempt stamps application-plane flows with their attempt number
+	// (1 = the original request, 2+ = retries/hedges) so forensics and
+	// trace can attribute retry amplification causally. Open-loop flows
+	// carry 0.
+	Attempt int
+
 	net  *Network
 	ctrl cc.Controller
+
+	// manual marks a deferred (application-launched) flow: the per-shard
+	// injection chains skip it and Network.Launch starts it at runtime.
+	// launched guards against double launches and lets reporting skip
+	// attempt flows that never fired.
+	manual   bool
+	launched bool
 
 	// Sender state.
 	sndNxt, sndUna units.ByteSize
@@ -60,6 +73,13 @@ type Flow struct {
 
 // Done reports whether the last byte was delivered.
 func (f *Flow) Done() bool { return f.done }
+
+// Manual reports whether the flow is application-launched (deferred).
+func (f *Flow) Manual() bool { return f.manual }
+
+// Launched reports whether a deferred flow was actually started.
+// Non-manual flows report true once their start time passed.
+func (f *Flow) Launched() bool { return f.launched || !f.manual }
 
 // FCT returns the completion time (valid once Done).
 func (f *Flow) FCT() units.Duration { return f.Finish.Sub(f.Start) }

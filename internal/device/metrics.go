@@ -41,6 +41,16 @@ type NetMetrics struct {
 	FaultRestarts   metrics.Counter // switch restarts applied
 	FGResyncs       metrics.Counter // Floodgate peer-restart resyncs
 	WatchdogTrips   metrics.Counter // stall-watchdog firings
+
+	// Application plane (PR 9; registered last to keep earlier export
+	// orders stable). Updated from internal/app.
+	AppRequests   metrics.Counter   // closed-loop requests issued
+	AppReplies    metrics.Counter   // worker replies delivered to clients
+	AppTimeouts   metrics.Counter   // application deadline expiries
+	AppRetries    metrics.Counter   // timeout-driven retry attempts launched
+	AppHedges     metrics.Counter   // hedged attempts launched
+	AppShed       metrics.Counter   // requests shed by an open circuit breaker
+	AppReqLatency metrics.Histogram // completed request latency (ps)
 }
 
 // queueDelayBounds buckets per-hop queuing delay from sub-microsecond
@@ -100,5 +110,12 @@ func NewNetMetrics(r *metrics.Registry) NetMetrics {
 	m.FaultRestarts = r.Counter("fault.switch_restarts", "events")
 	m.FGResyncs = r.Counter("fg.resyncs", "events")
 	m.WatchdogTrips = r.Counter("sim.watchdog_trips", "events")
+	m.AppRequests = r.Counter("app.requests", "requests")
+	m.AppReplies = r.Counter("app.replies", "replies")
+	m.AppTimeouts = r.Counter("app.timeouts", "events")
+	m.AppRetries = r.Counter("app.retries", "attempts")
+	m.AppHedges = r.Counter("app.hedges", "attempts")
+	m.AppShed = r.Counter("app.shed", "requests")
+	m.AppReqLatency = r.Histogram("app.req_latency_ps", "ps", fctBounds)
 	return m
 }

@@ -404,6 +404,26 @@ func (n *Network) AddFlow(src, dst packet.NodeID, size units.ByteSize, start uni
 	return f
 }
 
+// Launch starts a deferred application flow (Cluster.AddAppFlow) on
+// its source host at the current simulation time. The caller must be
+// the shard that owns f.Src — the application plane is per-shard, so
+// this holds by construction. A flow launches at most once.
+func (n *Network) Launch(f *Flow) {
+	if !f.manual {
+		panic("device: Launch on a non-deferred flow")
+	}
+	if f.launched {
+		panic(fmt.Sprintf("device: flow %d launched twice", f.ID))
+	}
+	sh := n.HostsByID[f.Src]
+	if sh == nil {
+		panic(fmt.Sprintf("device: Launch of flow %d from a shard that does not own host %d", f.ID, f.Src))
+	}
+	f.launched = true
+	f.Start = n.Eng.Now()
+	sh.startFlow(f)
+}
+
 // flowStartFn is the capture-free deferred-start callback: workloads
 // register tens of thousands of future flows up front.
 func flowStartFn(a any) {

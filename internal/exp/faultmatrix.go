@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"floodgate/internal/app"
 	"floodgate/internal/fault"
 	"floodgate/internal/topo"
 	"floodgate/internal/units"
@@ -114,6 +115,11 @@ func faultTables(scs []faultScenario, o Options) []Table {
 		// the base table stays byte-identical with it off.
 		hdr = append(hdr, "parked", "episodes")
 	}
+	if o.App {
+		// Closed-loop overlay: same conditional-column contract — the
+		// base table is untouched with -app off.
+		hdr = append(hdr, "reqOK", "p99req", "timeouts", "retries")
+	}
 	t := Table{
 		Title:  "Fault matrix: incast mix under injected fabric faults",
 		Header: hdr,
@@ -127,12 +133,28 @@ func faultTables(scs []faultScenario, o Options) []Table {
 		}
 		dur := o.duration(fullIncastMixDuration)
 		specs := incastMixSpecs(tp, workload.WebServer, dur, o.Seed, incastDegree(tp))
-		res := Run(RunConfig{
+		rcfg := RunConfig{
 			Topo: tp, Scheme: s, Specs: specs, Duration: dur,
 			Seed: o.Seed, Opt: o,
 			Faults: sc.plan(tp, dur),
 			Drain:  10 * dur,
-		})
+		}
+		if o.App {
+			// A modest partition-aggregate overlay (quarter fan-in, loose
+			// deadline): the question here is how faults, not congestion,
+			// degrade request SLOs.
+			fan := incastDegree(tp) / 4
+			if fan < 2 {
+				fan = 2
+			}
+			rcfg.App = &app.Config{
+				Requests: 24, Interval: dur / 24, FanIn: fan,
+				Deadline:    8 * sloIdeal(tp, fan),
+				MaxAttempts: 3,
+				Policy:      app.ExpBackoff{Base: o.stretch(50 * units.Microsecond)},
+			}
+		}
+		res := Run(rcfg)
 		fs := res.FaultStats()
 		stalled := fmt.Sprintf("%t", res.Stalled)
 		if res.Stalled {
@@ -149,6 +171,14 @@ func faultTables(scs []faultScenario, o Options) []Table {
 			row = append(row,
 				fmtDur(res.Forensics.TotalParked),
 				fmt.Sprintf("%d", len(res.Forensics.Episodes)))
+		}
+		if res.SLO != nil {
+			slo := res.SLO
+			row = append(row,
+				fmt.Sprintf("%d/%d", slo.Completed, slo.Requests),
+				fmtDur(slo.P99),
+				fmt.Sprintf("%.1f%%", 100*slo.TimeoutRate),
+				fmt.Sprintf("%.2fx", slo.Amplification))
 		}
 		return row
 	})

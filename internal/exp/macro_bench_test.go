@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"floodgate/internal/app"
 	"floodgate/internal/units"
 	"floodgate/internal/workload"
 )
@@ -135,6 +136,33 @@ func BenchmarkRunFig2Row(b *testing.B) {
 		res := runIncastMixStress(o, workload.WebServer, DCQCN(o))
 		if res.Completed == 0 {
 			b.Fatal("no flows completed")
+		}
+		simSec += res.Net.Eng.Now().Seconds()
+		events += float64(res.Net.Eng.Processed)
+	}
+	wall := b.Elapsed().Seconds()
+	b.ReportMetric(simSec/wall, "simsec/wallsec")
+	b.ReportMetric(events/wall, "events/s")
+}
+
+// BenchmarkRunClosedLoop executes one sloincast cell end to end: the
+// open-loop PFC-storm incast with the closed-loop partition-aggregate
+// plane overlaid (per-request deadline timers, jittered retries, and
+// breaker bookkeeping riding the engine) through DCQCN+Floodgate. This
+// is the app plane's allocation gate: benchjson tracks its allocs/op
+// across PRs, so a timer path that starts capturing shows up in
+// `make bench-compare`.
+func BenchmarkRunClosedLoop(b *testing.B) {
+	o := Options{Scale: 0.25, Seed: 1}.norm()
+	b.ReportAllocs()
+	var simSec, events float64
+	for i := 0; i < b.N; i++ {
+		c := sloCell{"8", 8, "tight(1.5x)", 1.5,
+			WithFloodgate(o, DCQCN(o), baseBDPOf(o.leafSpine())),
+			app.ExpBackoff{Base: o.stretch(25 * units.Microsecond)}}
+		res := sloRun(o, c)
+		if res.SLO == nil || res.SLO.Completed == 0 {
+			b.Fatal("closed loop resolved nothing")
 		}
 		simSec += res.Net.Eng.Now().Seconds()
 		events += float64(res.Net.Eng.Processed)

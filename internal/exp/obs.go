@@ -205,6 +205,25 @@ func obsLabel(rc RunConfig) string {
 		parts = append(parts, fmt.Sprintf("%d>%d:%d@%d/%d",
 			int64(s.Src), int64(s.Dst), int64(s.Size), int64(s.Start), int(s.Cat)))
 	}
+	// App-plane and streamed-source runs fold their shaping parameters
+	// into the hash; both additions are gated so every pre-existing
+	// config keeps its label.
+	if a := rc.App; a != nil {
+		parts = append(parts, fmt.Sprintf("app=%d/%d/%d/%d/%d:%d,%d-%d,dl=%d,ma=%d,rb=%d",
+			a.Requests, int64(a.Interval), a.Clients, a.FanIn, a.Quorum,
+			int64(a.ReqSize), int64(a.RespMin), int64(a.RespMax),
+			int64(a.Deadline), a.MaxAttempts, a.RetryBudget))
+		if a.Policy != nil {
+			parts = append(parts, "policy="+a.Policy.Name())
+		}
+		if a.Breaker.Enabled() {
+			parts = append(parts, fmt.Sprintf("brk=%d/%g/%d",
+				a.Breaker.Window, a.Breaker.Threshold, int64(a.Breaker.Cooldown)))
+		}
+	}
+	if rc.Source != nil {
+		parts = append(parts, "src="+rc.SourceLabel)
+	}
 	return sanitizeLabel(rc.Scheme.Name) + "-" + metrics.HashStrings(parts...)
 }
 

@@ -47,6 +47,7 @@ var registry = []Experiment{
 	{"resource", "resource overhead accounting (§7.4)", ResourceOverhead},
 	{"swift", "Swift ± Floodgate (extension)", SwiftCompat},
 	{"faultmatrix", "recovery under link/switch faults (extension)", FaultMatrix},
+	{"sloincast", "closed-loop SLO: deadlines, retries, hedging (extension)", SLOIncast},
 }
 
 // Lookup returns the experiment with the given id.

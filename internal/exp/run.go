@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"floodgate/internal/app"
 	"floodgate/internal/device"
 	"floodgate/internal/fault"
 	"floodgate/internal/forensics"
@@ -44,6 +45,12 @@ type Options struct {
 	// (see shardexec.go and DESIGN.md §10). 0 and 1 both mean a single
 	// unsharded engine. Output is bit-identical at every shard count.
 	Shards int
+	// App overlays a small closed-loop request workload on experiments
+	// that support it (currently faultmatrix), appending SLO columns to
+	// their tables. Off by default, leaving every existing table
+	// byte-identical; the dedicated sloincast experiment runs the app
+	// plane regardless.
+	App bool
 }
 
 // DefaultOptions returns a laptop-friendly scale.
@@ -177,6 +184,18 @@ type RunConfig struct {
 	// the time bound. Zero picks a default (4×RTO) when Faults is set
 	// and leaves the watchdog off otherwise.
 	StallHorizon units.Duration
+
+	// App overlays the closed-loop application plane (see internal/app):
+	// requests, deadlines, retries, hedging and circuit breaking on top
+	// of (or instead of) the open-loop Specs. Nil leaves every existing
+	// run byte-identical.
+	App *app.Config
+	// Source streams additional open-loop flow specs (e.g. from an
+	// NDJSON file via workload.OpenSpecFile) without materializing them;
+	// specs must arrive in non-decreasing Start order, after Specs'
+	// latest start. SourceLabel names the stream in content-hash labels.
+	Source      workload.SpecSource
+	SourceLabel string
 }
 
 // Validate rejects configurations that would misrun silently.
@@ -206,6 +225,17 @@ func (rc RunConfig) Validate() error {
 	}
 	if rc.Opt.Shards < 0 {
 		return fmt.Errorf("exp: Options.Shards must be non-negative, got %d", rc.Opt.Shards)
+	}
+	if rc.App != nil {
+		if rc.App.Requests <= 0 {
+			return fmt.Errorf("exp: RunConfig.App.Requests must be positive, got %d", rc.App.Requests)
+		}
+		if rc.App.Interval <= 0 {
+			return fmt.Errorf("exp: RunConfig.App.Interval must be positive, got %v", rc.App.Interval)
+		}
+		if rc.App.Deadline <= 0 {
+			return fmt.Errorf("exp: RunConfig.App.Deadline must be positive, got %v", rc.App.Deadline)
+		}
 	}
 	if rc.Opt.Obs.Enabled() && rc.Opt.shards() > 1 {
 		return fmt.Errorf("exp: Obs requires Shards <= 1 (the sampler and trace ring are single-engine)")
@@ -237,6 +267,12 @@ type RunResult struct {
 	// Forensics is the merged causal-forensics report; nil unless
 	// Options.Obs.Forensics was set.
 	Forensics *forensics.Report
+
+	// SLO scores the closed-loop application plane; nil unless
+	// RunConfig.App was set. AppRecords is the per-request outcome
+	// detail behind it, in request order.
+	SLO        *app.SLO
+	AppRecords []app.Record
 }
 
 // shardCount is one shard's flow-completion counter. Each shard gets
@@ -341,20 +377,66 @@ func Run(rc RunConfig) *RunResult {
 	// arrivals. Completion is counted per shard (a flow finishes on its
 	// receiver's shard) and aggregated only at barriers.
 	total := len(rc.Specs)
+	for _, s := range rc.Specs {
+		cluster.AddFlow(s.Src, s.Dst, s.Size, s.Start, s.Cat)
+	}
+	if rc.Source != nil {
+		// Streamed specs register one at a time — the source is never
+		// materialized, so flow files larger than memory still run.
+		for {
+			s, ok, err := rc.Source.Next()
+			if err != nil {
+				panic(fmt.Sprintf("exp: flow source %q: %v", rc.SourceLabel, err))
+			}
+			if !ok {
+				break
+			}
+			cluster.AddFlow(s.Src, s.Dst, s.Size, s.Start, s.Cat)
+			total++
+		}
+	}
+	// The app plane registers its attempt flows after the open-loop
+	// workload (deferred: injection skips them, Plane launches them).
+	var dispatch *app.Dispatch
+	if rc.App != nil {
+		reqs := app.GenerateRequests(rc.Topo, *rc.App, rc.Seed^0xa44)
+		dispatch = app.Build(cluster, reqs, *rc.App)
+	}
+	cluster.SealFlows()
+	var planes []*app.Plane
+	if dispatch != nil {
+		total += dispatch.NumRequests()
+		planes = make([]*app.Plane, k)
+		for i, n := range cluster.Nets {
+			planes[i] = app.NewPlane(n, dispatch)
+		}
+	}
 	done := make([]*shardCount, k)
 	for i, n := range cluster.Nets {
 		sd := &shardCount{}
 		done[i] = sd
-		n.OnFlowDone = func(*device.Flow, units.Time) { sd.n++ }
+		if planes != nil {
+			pl := planes[i]
+			n.OnFlowDone = func(f *device.Flow, now units.Time) {
+				if f.Attempt == 0 {
+					sd.n++
+				}
+				pl.OnFlowDone(f, now)
+			}
+		} else {
+			n.OnFlowDone = func(*device.Flow, units.Time) { sd.n++ }
+		}
 	}
-	for _, s := range rc.Specs {
-		cluster.AddFlow(s.Src, s.Dst, s.Size, s.Start, s.Cat)
-	}
-	cluster.SealFlows()
 	doneCount := func() int {
 		d := 0
 		for _, c := range done {
 			d += c.n
+		}
+		// Each request is owned by exactly one shard's plane, so the sum
+		// counts every resolved request once; resolution is monotone, so
+		// the barrier read is a valid progress signal.
+		for _, pl := range planes {
+			d += pl.Resolved()
 		}
 		return d
 	}
@@ -375,16 +457,35 @@ func Run(rc RunConfig) *RunResult {
 		horizon = 4 * cfg.RTO
 	}
 
-	w := runWindows(cluster, units.Time(rc.Duration+drain), horizon, doneCount, total)
+	// The watchdog's app probe folds plane state (pending requests,
+	// armed retry/hedge timers, open breakers) into any StallDiagnosis;
+	// nil when the app plane is off.
+	var appState appProbe
+	if planes != nil {
+		appState = func(now units.Time) (pending, retries, breakers int) {
+			for _, pl := range planes {
+				p, r, b := pl.StallState(now)
+				pending += p
+				retries += r
+				breakers += b
+			}
+			return
+		}
+	}
+	w := runWindows(cluster, units.Time(rc.Duration+drain), horizon, doneCount, total, appState)
 	cluster.Finalize()
 	var frep *forensics.Report
 	if opt.Obs.Forensics {
 		flows := cluster.Flows()
 		metas := make([]forensics.FlowMeta, 0, len(flows))
 		for _, f := range flows {
+			if !f.Launched() {
+				continue // unused app attempt: registered but never started
+			}
 			metas = append(metas, forensics.FlowMeta{
 				ID: f.ID, Src: f.Src, Dst: f.Dst, Size: f.Size,
 				Start: f.Start, Finish: f.Finish, Done: f.Done(),
+				Attempt: f.Attempt,
 			})
 		}
 		frep = forensics.BuildReport(cluster.Recorders(), metas)
@@ -394,7 +495,7 @@ func Run(rc RunConfig) *RunResult {
 			panic(fmt.Sprintf("exp: observability export failed: %v", err))
 		}
 	}
-	return &RunResult{
+	res := &RunResult{
 		Scheme:    rc.Scheme.Name,
 		Stats:     cluster.MergedStats(),
 		Net:       cluster.Nets[0],
@@ -406,6 +507,12 @@ func Run(rc RunConfig) *RunResult {
 		Diagnosis: w.diagnosis,
 		Forensics: frep,
 	}
+	if planes != nil {
+		res.AppRecords = app.Collect(planes)
+		slo := app.BuildSLO(res.AppRecords, rc.Duration)
+		res.SLO = &slo
+	}
+	return res
 }
 
 // incastMixSpecs builds the paper's default §6 workload: Poisson

@@ -35,10 +35,16 @@ type windowResult struct {
 	diagnosis *StallDiagnosis
 }
 
+// appProbe reports the application plane's stall-relevant state at a
+// barrier (pending requests, armed retry/hedge timers, open circuit
+// breakers); nil when no app plane is installed.
+type appProbe func(now units.Time) (pending, retries, breakers int)
+
 // runWindows drives the cluster to tEnd in conservative windows.
 // done/total gate the quantized early stop; a positive horizon arms
-// the barrier-level stall watchdog.
-func runWindows(c *device.Cluster, tEnd units.Time, horizon units.Duration, done func() int, total int) windowResult {
+// the barrier-level stall watchdog, whose diagnosis folds in the app
+// plane's state when appState is non-nil.
+func runWindows(c *device.Cluster, tEnd units.Time, horizon units.Duration, done func() int, total int, appState appProbe) windowResult {
 	L := topo.Lookahead(c.Topo)
 	var pool *shardPool
 	if c.K() > 1 {
@@ -91,6 +97,11 @@ func runWindows(c *device.Cluster, tEnd units.Time, horizon units.Duration, done
 					PausedSwitchPorts: ss.PausedSwitchPorts,
 					PausedHosts:       ss.PausedHosts,
 					LinksDown:         ss.LinksDown,
+				}
+				if appState != nil {
+					res.diagnosis.HasApp = true
+					res.diagnosis.PendingRequests, res.diagnosis.RetryTimers,
+						res.diagnosis.OpenBreakers = appState(u)
 				}
 				c.Nets[0].Metrics.WatchdogTrips.Inc()
 				break

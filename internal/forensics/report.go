@@ -21,6 +21,10 @@ type FlowMeta struct {
 	Start  units.Time
 	Finish units.Time
 	Done   bool
+	// Attempt is the application-plane attempt number (0 for open-loop
+	// flows, 1 for original requests/responses, 2+ for retries and
+	// hedges) — the causal tag retry-amplification analysis keys on.
+	Attempt int
 }
 
 // FlowBudget is one flow's completion-time attribution.
@@ -106,8 +110,8 @@ func (rep *Report) WriteNDJSON(w io.Writer) error {
 		len(rep.Flows), len(rep.Episodes), int64(rep.TotalParked))
 	for i := range rep.Flows {
 		f := &rep.Flows[i]
-		fmt.Fprintf(bw, `{"type":"flow","flow":%d,"src":%d,"dst":%d,"size":%d,"start_ps":%d,"finish_ps":%d,"done":%t,"fct_ps":%d`,
-			f.ID, f.Src, f.Dst, int64(f.Size), int64(f.Start), int64(f.Finish), f.Done, int64(f.FCT))
+		fmt.Fprintf(bw, `{"type":"flow","flow":%d,"src":%d,"dst":%d,"size":%d,"start_ps":%d,"finish_ps":%d,"done":%t,"attempt":%d,"fct_ps":%d`,
+			f.ID, f.Src, f.Dst, int64(f.Size), int64(f.Start), int64(f.Finish), f.Done, f.Attempt, int64(f.FCT))
 		for c := CompSerialization; c < NumComps; c++ {
 			fmt.Fprintf(bw, `,"%s_ps":%d`, compNames[c], int64(f.Comp[c]))
 		}

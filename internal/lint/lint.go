@@ -97,6 +97,9 @@ func DefaultConfig(module string) *Config {
 			module + "/internal/topo.Topology",
 			module + "/internal/fault.Plan",
 			module + "/internal/workload.CDF",
+			// The app-plane dispatch table is sealed by app.Build before
+			// any shard runs; Planes only read it.
+			module + "/internal/app.Dispatch",
 		},
 		UnitsPath:   module + "/internal/units",
 		SimPath:     module + "/internal/sim",

@@ -1,0 +1,31 @@
+// The app-plane shape of the closure rule: deadline, retry, and hedge
+// timers arm per attempt, so a capturing literal allocates on every
+// request the closed loop injects.
+//
+//lint:hotpath fixture: app timers fire per attempt
+package hotpath
+
+import (
+	"floodgate/internal/sim"
+	"floodgate/internal/units"
+)
+
+// request stands in for the app plane's per-request state.
+type request struct {
+	attempts int
+	deadline units.Duration
+}
+
+func requestDeadline(a any) { a.(*request).attempts++ }
+
+// ArmDeadline captures the request in the deadline timer — the
+// violation: one allocation per injected attempt.
+func ArmDeadline(eng *sim.Engine, rq *request) {
+	eng.After(rq.deadline, func() { rq.attempts++ })
+}
+
+// ArmDeadlineFixed threads the request through the arg parameter with
+// a pre-built callback — the conforming app-timer shape.
+func ArmDeadlineFixed(eng *sim.Engine, rq *request) {
+	eng.AfterArg(rq.deadline, requestDeadline, rq)
+}

@@ -32,10 +32,20 @@ const (
 	OpRetx              // go-back-N or NDP segment retransmission
 	OpRTO               // retransmission timeout fired (sender rewound)
 	OpUnpark            // flow-control module released a parked packet (credit arrived)
+
+	// Application-plane lifecycle points (closed-loop RPC layer). The
+	// event's Flow is the launched attempt's flow; Seq carries the
+	// attempt number so retry amplification is causally attributable.
+	OpAppReq     // request attempt launched (attempt 1 = the original)
+	OpAppRetry   // timeout-driven retry attempt launched
+	OpAppHedge   // hedged attempt launched (racing the original)
+	OpAppTimeout // application deadline expired on a pending request
+	OpAppDone    // request resolved (quorum reached or given up)
 	nOps
 )
 
-var opNames = [nOps]string{"SEND", "ENQ", "PARK", "TX", "DLVR", "DROP", "CREDIT", "PAUSE", "RESUME", "RETX", "RTO", "UNPARK"}
+var opNames = [nOps]string{"SEND", "ENQ", "PARK", "TX", "DLVR", "DROP", "CREDIT", "PAUSE", "RESUME", "RETX", "RTO", "UNPARK",
+	"APPREQ", "APPRETRY", "APPHEDGE", "APPTOUT", "APPDONE"}
 
 func (o Op) String() string {
 	if o < nOps {

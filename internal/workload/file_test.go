@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"floodgate/internal/packet"
+	"floodgate/internal/sim"
+	"floodgate/internal/units"
+)
+
+// TestSpecFileRoundTrip: WriteSpecs → SpecReader must reproduce a
+// generated workload spec-for-spec, streaming without materializing.
+func TestSpecFileRoundTrip(t *testing.T) {
+	r := sim.NewRand(9)
+	var specs []FlowSpec
+	for i := 0; i < 200; i++ {
+		specs = append(specs, FlowSpec{
+			Src:   packet.NodeID(i % 7),
+			Dst:   packet.NodeID(40 + i%3),
+			Size:  units.ByteSize(1000 + r.Int63n(50000)),
+			Start: units.Time(int64(i) * 500_000),
+			Cat:   packet.Category(i % 3),
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteSpecs(&buf, specs); err != nil {
+		t.Fatalf("WriteSpecs: %v", err)
+	}
+	sr := NewSpecReader(&buf)
+	for i, want := range specs {
+		got, ok, err := sr.Next()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("stream ended at spec %d of %d", i, len(specs))
+		}
+		if got != want {
+			t.Fatalf("spec %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok, err := sr.Next(); ok || err != nil {
+		t.Fatalf("expected clean end of stream, got ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSpecReaderSkipsCommentsAndBlanks: a file with a header comment
+// and blank separators yields only the spec lines.
+func TestSpecReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# flow file header\n\n" +
+		`{"src":1,"dst":2,"size":1500,"start_ps":0,"cat":0}` + "\n\n" +
+		"# trailing comment\n" +
+		`{"src":3,"dst":4,"size":3000,"start_ps":1000,"cat":1}` + "\n"
+	sr := NewSpecReader(strings.NewReader(in))
+	var got []FlowSpec
+	for {
+		s, ok, err := sr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d specs, want 2", len(got))
+	}
+	if got[1].Src != 3 || got[1].Start != 1000 || got[1].Cat != 1 {
+		t.Fatalf("second spec mangled: %+v", got[1])
+	}
+}
+
+// TestSpecReaderRejectsUnsorted: a start_ps regression must fail at
+// the offending line number.
+func TestSpecReaderRejectsUnsorted(t *testing.T) {
+	in := `{"src":1,"dst":2,"size":1500,"start_ps":2000,"cat":0}` + "\n" +
+		`{"src":3,"dst":4,"size":1500,"start_ps":1000,"cat":0}` + "\n"
+	sr := NewSpecReader(strings.NewReader(in))
+	if _, _, err := sr.Next(); err != nil {
+		t.Fatalf("first spec: %v", err)
+	}
+	_, _, err := sr.Next()
+	if err == nil {
+		t.Fatal("unsorted start_ps accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not name the offending line", err)
+	}
+}
+
+// TestSpecReaderRejectsBadInput: malformed JSON and non-positive sizes
+// are errors, not silent skips.
+func TestSpecReaderRejectsBadInput(t *testing.T) {
+	for name, in := range map[string]string{
+		"garbage":  "not json\n",
+		"zerosize": `{"src":1,"dst":2,"size":0,"start_ps":0,"cat":0}` + "\n",
+		"negsize":  `{"src":1,"dst":2,"size":-5,"start_ps":0,"cat":0}` + "\n",
+	} {
+		sr := NewSpecReader(strings.NewReader(in))
+		if _, _, err := sr.Next(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
