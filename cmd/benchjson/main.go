@@ -22,12 +22,13 @@
 // Each benchmark present in both documents must stay within the
 // tolerance (percent): ns/op and allocs/op may not rise past it,
 // events/s may not fall past it. Benchmarks present on only one side
-// are reported but never fail (the suite evolves). One built-in pair
-// rule rides along: when the fresh run contains both
-// BenchmarkForensicsOff and BenchmarkRunIncast, their allocs/op must
-// agree — the forensics hooks are contractually free when disabled, so
-// any divergence between the identical workloads is a regression
-// regardless of tolerance.
+// are reported but never fail (the suite evolves). Two built-in pair
+// rules ride along regardless of tolerance: when the fresh run
+// contains both BenchmarkForensicsOff and BenchmarkRunIncast, their
+// allocs/op must agree (the forensics hooks are contractually free
+// when disabled); and when it contains both halves of
+// BenchmarkRouteMemory, the structural router's route_bytes must stay
+// at least 100x below the dense baseline's.
 package main
 
 import (
@@ -124,6 +125,30 @@ func parseLine(line string) (benchResult, bool) {
 	return r, true
 }
 
+// mergeBest collapses repeated benchmark names (go test -count N) to
+// the fastest run of each, keeping that run's record whole so its
+// custom metrics stay a consistent snapshot. Scheduling noise and CPU
+// steal on shared hardware only ever add time, so the minimum ns/op is
+// the honest estimate — this is what lets bench-compare run the noisy
+// macro benchmarks with -count 3 and gate on the best of the three.
+// Allocation counts are deterministic and identical across runs, so
+// the zero-alloc and pair-rule gates are unaffected.
+func mergeBest(results []benchResult) []benchResult {
+	idx := make(map[string]int, len(results))
+	out := results[:0]
+	for _, r := range results {
+		if i, ok := idx[r.Name]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		idx[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
 // compareDocs checks cur against a committed baseline, returning one
 // violation message per tolerance breach. tolPct is the allowed
 // regression in percent. The allocs check carries a small absolute
@@ -187,6 +212,33 @@ func forensicsPairRule(cur doc) string {
 	return ""
 }
 
+// routeMemoryPairRule asserts the structural router's compression
+// claim inside one run: BenchmarkRouteMemory/{structural,dense} both
+// report resident route memory for the k=16 fat tree as the
+// route_bytes/topo custom metric, and structural must stay at least
+// 100x below the dense baseline (the PR 10 acceptance bound; it
+// measures ~1800x in practice). Returns "" when the rule passes or
+// either half is absent from the run.
+func routeMemoryPairRule(cur doc) string {
+	var structural, dense float64
+	for i := range cur.Benchmarks {
+		switch cur.Benchmarks[i].Name {
+		case "BenchmarkRouteMemory/structural":
+			structural = cur.Benchmarks[i].Metrics["route_bytes/topo"]
+		case "BenchmarkRouteMemory/dense":
+			dense = cur.Benchmarks[i].Metrics["route_bytes/topo"]
+		}
+	}
+	if structural == 0 || dense == 0 {
+		return ""
+	}
+	if structural*100 > dense {
+		return fmt.Sprintf("BenchmarkRouteMemory: structural route_bytes %.0f is only %.1fx below dense %.0f; the structural router must stay >= 100x smaller",
+			structural, dense/structural, dense)
+	}
+	return ""
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "compare against this committed benchjson document; tolerance breaches exit non-zero")
@@ -209,6 +261,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
 		os.Exit(1)
 	}
+	results = mergeBest(results)
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 
 	cur := doc{
@@ -241,6 +294,10 @@ func main() {
 		}
 	}
 	if msg := forensicsPairRule(cur); msg != "" {
+		fmt.Fprintln(os.Stderr, "benchjson:", msg)
+		failed = true
+	}
+	if msg := routeMemoryPairRule(cur); msg != "" {
 		fmt.Fprintln(os.Stderr, "benchjson:", msg)
 		failed = true
 	}

@@ -26,6 +26,26 @@ func TestParseLine(t *testing.T) {
 
 func mkDoc(rs ...benchResult) doc { return doc{Format: 2, Count: len(rs), Benchmarks: rs} }
 
+// TestMergeBest pins the best-of--count collapse: repeated names keep
+// the fastest run's whole record, unique names pass through in place.
+func TestMergeBest(t *testing.T) {
+	out := mergeBest([]benchResult{
+		{Name: "BenchmarkA", NsPerOp: 300, Metrics: map[string]float64{"events/s": 1e6}},
+		{Name: "BenchmarkB", NsPerOp: 50},
+		{Name: "BenchmarkA", NsPerOp: 200, Metrics: map[string]float64{"events/s": 3e6}},
+		{Name: "BenchmarkA", NsPerOp: 250, Metrics: map[string]float64{"events/s": 2e6}},
+	})
+	if len(out) != 2 {
+		t.Fatalf("got %d results, want 2: %v", len(out), out)
+	}
+	if out[0].Name != "BenchmarkA" || out[0].NsPerOp != 200 || out[0].Metrics["events/s"] != 3e6 {
+		t.Errorf("BenchmarkA = %+v, want the fastest run's whole record", out[0])
+	}
+	if out[1].Name != "BenchmarkB" || out[1].NsPerOp != 50 {
+		t.Errorf("BenchmarkB = %+v", out[1])
+	}
+}
+
 // TestCompareDocs pins the tolerance semantics: ns/op and allocs/op
 // may not rise past tol percent of the baseline, events/s may not fall
 // past it, and benchmarks on only one side never fail.
@@ -92,5 +112,27 @@ func TestForensicsPairRule(t *testing.T) {
 	}
 	if msg := forensicsPairRule(mkDoc(benchResult{Name: "BenchmarkRunIncast", AllocsPerOp: 10000})); msg != "" {
 		t.Errorf("rule should not apply without both benchmarks: %s", msg)
+	}
+}
+
+// TestRouteMemoryPairRule pins the structural-vs-dense compression
+// gate: structural route_bytes must stay at least 100x below dense.
+func TestRouteMemoryPairRule(t *testing.T) {
+	mk := func(structural, dense float64) doc {
+		return mkDoc(
+			benchResult{Name: "BenchmarkRouteMemory/structural", Metrics: map[string]float64{"route_bytes/topo": structural}},
+			benchResult{Name: "BenchmarkRouteMemory/dense", Metrics: map[string]float64{"route_bytes/topo": dense}},
+		)
+	}
+	if msg := routeMemoryPairRule(mk(32384, 58228224)); msg != "" {
+		t.Errorf("measured k=16 ratio (~1798x) should pass: %s", msg)
+	}
+	if msg := routeMemoryPairRule(mk(1e6, 5e7)); !strings.Contains(msg, "100x") {
+		t.Errorf("50x ratio should fail the 100x bound, got %q", msg)
+	}
+	if msg := routeMemoryPairRule(mkDoc(
+		benchResult{Name: "BenchmarkRouteMemory/structural", Metrics: map[string]float64{"route_bytes/topo": 1e6}},
+	)); msg != "" {
+		t.Errorf("rule should not apply without both halves: %s", msg)
 	}
 }

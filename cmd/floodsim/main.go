@@ -9,6 +9,12 @@
 //	floodsim -exp fig2 -obs out/ -forensics
 //	floodsim -faults list
 //	floodsim -faults storm -seed 7
+//	floodsim -topo list
+//	floodsim -exp scaleincast -topo clos100k
+//
+// -topo selects a large-fabric preset for the scaleincast experiment
+// (structural routing makes the 102,400-host Clos affordable); other
+// experiments pin the paper fabrics and ignore it.
 //
 // -faults runs one named fault-injection scenario (link flaps, switch
 // restarts, Gilbert–Elliott burst loss, ...) from the fault matrix
@@ -56,6 +62,7 @@ func main() {
 		obsDir     = flag.String("obs", "", "write per-run metrics/timeline files under this directory")
 		sample     = flag.Duration("sample", 0, "metrics sampling period on the simulation clock (e.g. 10us); 0 = default")
 		faults     = flag.String("faults", "", "run one fault-injection scenario, or 'list'")
+		topoName   = flag.String("topo", "", "large-fabric preset for -exp scaleincast (clos, clos100k, fattree16, fattree32), or 'list'")
 		forensics  = flag.Bool("forensics", false, "causal flow forensics: FCT time-budget attribution + incast episodes (requires -obs; writes <label>.forensics.ndjson)")
 		sched      = flag.String("sched", "wheel", "event scheduler: wheel (default) or heap; output is identical")
 		appOn      = flag.Bool("app", false, "overlay the closed-loop application plane on experiments that support it (adds SLO columns to faultmatrix); 'sloincast' runs it regardless")
@@ -115,6 +122,18 @@ func main() {
 		}()
 	}
 
+	if *topoName == "list" {
+		fmt.Println("topology presets (floodsim -exp scaleincast -topo <name>):")
+		for _, p := range floodgate.TopoPresets() {
+			fmt.Printf("  %-10s %s\n", p[0], p[1])
+		}
+		return
+	}
+	if err := validateTopo(*topoName); err != nil {
+		fmt.Fprintln(os.Stderr, "floodsim:", err)
+		os.Exit(2)
+	}
+
 	if *faults == "list" {
 		fmt.Println("fault scenarios (floodsim -faults <name>):")
 		for _, n := range floodgate.FaultScenarioNames() {
@@ -171,7 +190,7 @@ func main() {
 		return
 	}
 
-	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt, Shards: *shards, App: *appOn}
+	o := floodgate.Options{Scale: *scale, Seed: *seed, Parallelism: *par, Scheduler: schedOpt, Shards: *shards, App: *appOn, Topo: *topoName}
 	if *obsDir != "" {
 		o.Obs = floodgate.ObsConfig{Dir: *obsDir, Period: floodgate.FromNanos(sample.Nanoseconds())}
 	}
@@ -240,6 +259,24 @@ func validateForensics(forensics bool, obsDir string) error {
 		return fmt.Errorf("-forensics needs -obs <dir> to write the report: add -obs out/ (the NDJSON lands at <dir>/<experiment>/<label>.forensics.ndjson)")
 	}
 	return nil
+}
+
+// validateTopo rejects unknown -topo preset names up front, before
+// any experiment runs; only scaleincast reads the preset (other
+// experiments pin the paper fabrics), so a typo would otherwise
+// surface minutes into an -exp all batch.
+func validateTopo(name string) error {
+	if name == "" {
+		return nil
+	}
+	var names []string
+	for _, p := range floodgate.TopoPresets() {
+		if p[0] == name {
+			return nil
+		}
+		names = append(names, p[0])
+	}
+	return fmt.Errorf("unknown -topo %q (have %v, or 'list')", name, names)
 }
 
 func validateConcurrency(par, shards, maxProcs int) error {

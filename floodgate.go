@@ -227,15 +227,26 @@ type (
 	LeafSpineConfig = topo.LeafSpineConfig
 	FatTreeConfig   = topo.FatTreeConfig
 	TestbedConfig   = topo.TestbedConfig
+	ClosConfig      = topo.ClosConfig
 	PortClass       = topo.PortClass
 )
 
-// Paper topologies.
+// Paper topologies, plus the large-fabric presets the structural
+// router makes affordable (FatTree16/32, the multi-pod Clos family).
 var (
 	DefaultLeafSpine = topo.DefaultLeafSpine
 	DefaultFatTree   = topo.DefaultFatTree
 	DefaultTestbed   = topo.DefaultTestbed
+	DefaultClos      = topo.DefaultClos
+	Clos100k         = topo.Clos100k
+	FatTree16        = topo.FatTree16
+	FatTree32        = topo.FatTree32
 )
+
+// TopoPresets lists the -topo preset names with one-line descriptions,
+// in menu order (floodsim -topo list; only scaleincast reads
+// Options.Topo).
+var TopoPresets = exp.TopoPresets
 
 // Port classes for per-hop statistics.
 const (

@@ -77,7 +77,8 @@ type faultState struct {
 	plan      *fault.Plan
 	linkUp    [][]bool // [node][port]: port's link is in service
 	ge        [][]geChain
-	downPorts int // own directed ports currently out of service
+	downPorts int     // own directed ports currently out of service
+	downAt    []int32 // [node]: locally down ports — Route's fast-path gate
 
 	linkEvents int // link state transitions applied (primary halves)
 	linksDown  int // bidirectional links currently down (primary halves)
@@ -102,6 +103,7 @@ func (n *Network) InstallFaults(p *fault.Plan, seed uint64) {
 	f := &faultState{plan: p}
 	f.linkUp = make([][]bool, len(n.Topo.Nodes))
 	f.ge = make([][]geChain, len(n.Topo.Nodes))
+	f.downAt = make([]int32, len(n.Topo.Nodes))
 	for _, node := range n.Topo.Nodes {
 		up := make([]bool, len(node.Ports))
 		for i := range up {
@@ -186,9 +188,16 @@ func (n *Network) portTo(a, b packet.NodeID) int {
 // faults (or with every candidate live) it is exactly Topology.ECMP; a
 // downed link re-hashes the pair over the live subset, so unaffected
 // pairs keep their paths and affected ones move deterministically.
+// The whole path is allocation-free: the live subset is selected by a
+// count-then-index scan over the shared candidate slice, never
+// materialized. The per-node down count gates the scan entirely —
+// while a fault is active somewhere, nodes whose own ports are all in
+// service (the overwhelming majority of a large fabric) still take
+// the plain-ECMP fast path, because a full live set re-hashes to the
+// same port plain ECMP picks.
 func (n *Network) Route(node, src, dst packet.NodeID) int {
 	f := n.faults
-	if f == nil || f.downPorts == 0 {
+	if f == nil || f.downPorts == 0 || f.downAt[node] == 0 {
 		return n.Topo.ECMP(node, src, dst)
 	}
 	ports := n.Topo.NextPorts(node, dst)
@@ -298,9 +307,11 @@ func (n *Network) applyLinkHalf(a *linkHalfArg) {
 	}
 	if a.up {
 		f.downPorts--
+		f.downAt[a.node]--
 		n.clearPortPause(a.node, a.port)
 	} else {
 		f.downPorts++
+		f.downAt[a.node]++
 	}
 }
 

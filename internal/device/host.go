@@ -273,14 +273,26 @@ func (h *Host) receive(p *packet.Packet) {
 			h.kick()
 		}
 	case packet.DstPause:
-		h.pausedDst[p.PauseDst] = true
+		if !h.pausedDst[p.PauseDst] {
+			h.pausedDst[p.PauseDst] = true
+			h.net.Metrics.HostPausedDsts.Add(1)
+		}
 	case packet.DstResume:
-		delete(h.pausedDst, p.PauseDst)
+		if h.pausedDst[p.PauseDst] {
+			delete(h.pausedDst, p.PauseDst)
+			h.net.Metrics.HostPausedDsts.Add(-1)
+		}
 		h.wakeDst(p.PauseDst)
 	case packet.BFCPause:
-		h.pausedFlows[p.Flow] = true
+		if !h.pausedFlows[p.Flow] {
+			h.pausedFlows[p.Flow] = true
+			h.net.Metrics.HostPausedFlows.Add(1)
+		}
 	case packet.BFCResume:
-		delete(h.pausedFlows, p.Flow)
+		if h.pausedFlows[p.Flow] {
+			delete(h.pausedFlows, p.Flow)
+			h.net.Metrics.HostPausedFlows.Add(-1)
+		}
 		if f := h.net.flow(p.Flow); f != nil {
 			h.enqueue(f)
 			h.kick()
@@ -344,6 +356,8 @@ func (h *Host) clearPFC() {
 // so forget them all and wake the blocked flows.
 func (h *Host) onPeerReset() {
 	h.clearPFC()
+	h.net.Metrics.HostPausedDsts.Add(-int64(len(h.pausedDst)))
+	h.net.Metrics.HostPausedFlows.Add(-int64(len(h.pausedFlows)))
 	clear(h.pausedDst)
 	clear(h.pausedFlows)
 	h.wakeAll()

@@ -1,6 +1,8 @@
 package device
 
 import (
+	"runtime"
+
 	"floodgate/internal/metrics"
 	"floodgate/internal/topo"
 	"floodgate/internal/units"
@@ -51,6 +53,23 @@ type NetMetrics struct {
 	AppHedges     metrics.Counter   // hedged attempts launched
 	AppShed       metrics.Counter   // requests shed by an open circuit breaker
 	AppReqLatency metrics.Histogram // completed request latency (ps)
+
+	// Scale / memory plane (PR 10; registered last to keep earlier
+	// export orders stable). The topology gauges are pure functions of
+	// the frozen topology, set once at New — deterministic, so they
+	// are safe in byte-identity-checked exports. The heap gauge is
+	// nondeterministic by nature and is populated only by explicit
+	// SnapshotMemStats calls (benchmarks, the scale-smoke test), never
+	// during table-producing runs. The paused-entry gauges are the
+	// per-host state audit's high-water marks (read with Max()): they
+	// confirm the lazily allocated host maps stay small relative to
+	// the host count even at 100k hosts.
+	ScaleHosts        metrics.Gauge // topology host count
+	ScaleRouteBytes   metrics.Gauge // resident route-state memory (topo.Router.Bytes)
+	ScaleBytesPerHost metrics.Gauge // topology+route bytes amortized per host
+	ScaleHeapBytes    metrics.Gauge // runtime HeapAlloc at the last explicit snapshot
+	HostPausedDsts    metrics.Gauge // per-host paused-destination entries (Floodgate per-dst pause)
+	HostPausedFlows   metrics.Gauge // per-host BFC-paused flow entries
 }
 
 // queueDelayBounds buckets per-hop queuing delay from sub-microsecond
@@ -117,5 +136,25 @@ func NewNetMetrics(r *metrics.Registry) NetMetrics {
 	m.AppHedges = r.Counter("app.hedges", "attempts")
 	m.AppShed = r.Counter("app.shed", "requests")
 	m.AppReqLatency = r.Histogram("app.req_latency_ps", "ps", fctBounds)
+	m.ScaleHosts = r.Gauge("scale.hosts", "hosts")
+	m.ScaleRouteBytes = r.Gauge("scale.route_bytes", "bytes")
+	m.ScaleBytesPerHost = r.Gauge("scale.bytes_per_host", "bytes")
+	m.ScaleHeapBytes = r.Gauge("scale.heap_bytes", "bytes")
+	m.HostPausedDsts = r.Gauge("net.host_paused_dsts", "entries")
+	m.HostPausedFlows = r.Gauge("net.host_paused_flows", "entries")
 	return m
+}
+
+// SnapshotMemStats populates the heap gauge from runtime.MemStats and
+// returns the live-heap byte count. Heap size depends on GC timing and
+// host parallelism, so this is called only from explicit memory-budget
+// probes (the scale-smoke test, the route-memory benchmarks) — never
+// on any path that feeds a byte-identity-checked table or obs export,
+// where the gauge simply stays zero.
+func (n *Network) SnapshotMemStats() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heap := int64(ms.HeapAlloc)
+	n.Metrics.ScaleHeapBytes.Set(heap)
+	return heap
 }

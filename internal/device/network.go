@@ -231,6 +231,16 @@ func New(cfg Config) *Network {
 	if n.Cfg.BaseRTT == 0 {
 		n.Cfg.BaseRTT = n.deriveBaseRTT()
 	}
+	// Deterministic scale gauges: pure functions of the frozen
+	// topology, so they are safe in byte-identity-checked exports.
+	// The heap gauge is deliberately NOT set here (see
+	// SnapshotMemStats).
+	t := cfg.Topo
+	n.Metrics.ScaleHosts.Set(int64(t.NumHosts()))
+	n.Metrics.ScaleRouteBytes.Set(t.RouteBytes())
+	if hosts := int64(t.NumHosts()); hosts > 0 {
+		n.Metrics.ScaleBytesPerHost.Set((t.StructBytes() + t.RouteBytes()) / hosts)
+	}
 	for _, node := range cfg.Topo.Nodes {
 		if !n.owns(node.ID) {
 			continue

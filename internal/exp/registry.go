@@ -48,6 +48,7 @@ var registry = []Experiment{
 	{"swift", "Swift ± Floodgate (extension)", SwiftCompat},
 	{"faultmatrix", "recovery under link/switch faults (extension)", FaultMatrix},
 	{"sloincast", "closed-loop SLO: deadlines, retries, hedging (extension)", SLOIncast},
+	{"scaleincast", "canonical incast on a 100k-host Clos (structural routing)", ScaleIncast},
 }
 
 // Lookup returns the experiment with the given id.

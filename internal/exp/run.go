@@ -51,6 +51,14 @@ type Options struct {
 	// byte-identical; the dedicated sloincast experiment runs the app
 	// plane regardless.
 	App bool
+	// Topo selects a large-fabric preset by name (see TopoPresets) for
+	// the experiments that take one — currently only scaleincast reads
+	// it, so every paper figure keeps its own fixed fabric and stays
+	// byte-identical. Empty picks the experiment's default preset.
+	// Unlike Scale, a preset fixes the fabric's dimensions exactly
+	// (clos100k is 102,400 hosts at any Scale); Scale still applies
+	// the slow-motion rate/time model on top.
+	Topo string
 }
 
 // DefaultOptions returns a laptop-friendly scale.

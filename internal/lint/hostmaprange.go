@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkHostMapRange is the scale audit's chief hazard made a standing
+// rule: per-host maps (keyed by packet.NodeID or packet.FlowID) are
+// the structures that grow with the fabric — lazy paused-destination
+// sets, per-flow VOQ state, FCT accumulators — and a range over one
+// that feeds a deterministic sink (stats, metrics, exp tables) leaks
+// randomized iteration order into rendered output exactly where a
+// 100k-host run amplifies it most. The generic maprange rule flags the
+// same loops, but its allowlist accepts any "order-independent
+// reduction" claim; this rule is deliberately independent of that
+// allowlist, so a per-host map feeding a sink needs its own
+// //lint:allow hostmaprange justification — an order-independence
+// argument about the sink write itself, not just the loop.
+func checkHostMapRange(c *Ctx) {
+	for _, f := range c.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := c.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			m, isMap := tv.Type.Underlying().(*types.Map)
+			if !isMap || !isPerHostKey(c, m.Key()) {
+				return true
+			}
+			ast.Inspect(rng.Body, func(b ast.Node) bool {
+				call, ok := b.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := sinkFunc(c, call); fn != nil {
+					c.Report(rng.Pos(), "range over per-host map %s feeds %s.%s in its body; per-host map order is randomized and scales with the fabric — iterate a sorted key slice (//lint:allow hostmaprange needs an order-independence argument for the sink write)",
+						shortType(tv.Type), recvNamed(fn), fn.Name())
+					return false // one finding per range is enough signal
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isPerHostKey reports whether a map key type is one of the packet
+// package's per-host/per-flow identifiers (pointer unwrapped), i.e.
+// the map's size scales with the fabric.
+func isPerHostKey(c *Ctx, t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != c.Cfg.PacketPath {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "NodeID", "FlowID":
+		return true
+	}
+	return false
+}

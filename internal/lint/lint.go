@@ -34,8 +34,10 @@ type Config struct {
 
 	// Determinism scopes walltime / mathrand / envread / multiselect.
 	Determinism []string
-	// MapRange scopes the map-iteration-order rule.
-	MapRange []string
+	// MapRange scopes the map-iteration-order rule; HostMapRange the
+	// stricter per-host variant (fabric-sized maps feeding sinks).
+	MapRange     []string
+	HostMapRange []string
 	// Pool scopes the packet-pool rules (direct allocation and leaks).
 	Pool []string
 	// Units scopes the units-mixing rule; UnitsPath is always exempt.
@@ -77,8 +79,9 @@ type Config struct {
 func DefaultConfig(module string) *Config {
 	return &Config{
 		ModulePath:  module,
-		Determinism: []string{"..."},
-		MapRange:    []string{"..."},
+		Determinism:  []string{"..."},
+		MapRange:     []string{"..."},
+		HostMapRange: []string{"..."},
 		Pool: []string{
 			module + "/internal/device",
 			module + "/internal/core",
@@ -165,6 +168,8 @@ func Rules() []Rule {
 			func(c *Config, p *Package) bool { return inScope(c.Determinism, p.Path) }, checkMultiSelect},
 		{"maprange", "no ranging over maps where order can reach tables or event scheduling",
 			func(c *Config, p *Package) bool { return inScope(c.MapRange, p.Path) }, checkMapRange},
+		{"hostmaprange", "no ranging over per-host maps (NodeID/FlowID keys) into stats, metrics or table sinks",
+			func(c *Config, p *Package) bool { return inScope(c.HostMapRange, p.Path) }, checkHostMapRange},
 		{"pool", "packets come from and return to the Network pool",
 			func(c *Config, p *Package) bool { return inScope(c.Pool, p.Path) }, checkPool},
 		{"hotpath", "no capturing closures scheduled from //lint:hotpath files",

@@ -79,6 +79,21 @@ func DefaultFatTree() FatTreeConfig {
 	return FatTreeConfig{K: 8, HostsPerEdge: 4, Rate: 100 * units.Gbps, Prop: 600 * units.Nanosecond}
 }
 
+// FatTree16 returns a k=16 fat tree: 16 pods × 8 edges × 8 hosts =
+// 1024 hosts, 320 switches. Small enough that the dense BFS table is
+// still buildable, which makes it the benchmark point for the
+// structural-vs-dense route-memory ratio.
+func FatTree16() FatTreeConfig {
+	return FatTreeConfig{K: 16, Rate: 100 * units.Gbps, Prop: 600 * units.Nanosecond}
+}
+
+// FatTree32 returns a k=32 fat tree: 32 pods × 16 edges × 16 hosts =
+// 8192 hosts, 1280 switches. The dense table here would already be
+// ~2 GB of slice headers; only the structural router makes it cheap.
+func FatTree32() FatTreeConfig {
+	return FatTreeConfig{K: 32, Rate: 100 * units.Gbps, Prop: 600 * units.Nanosecond}
+}
+
 // Build constructs the fat tree: K pods of K/2 edge and K/2 agg
 // switches; (K/2)^2 cores. Core c connects to agg (c / (K/2)) in each
 // pod. Edges are ToR-layer, aggs Agg-layer.
@@ -120,6 +135,93 @@ func (c FatTreeConfig) Build() *Topology {
 	return b.freeze()
 }
 
+// ClosConfig describes a multi-pod 3-tier Clos at datacenter scale:
+// Pods pods, each with AggsPerPod aggregation switches, ToRsPerPod
+// ToRs and HostsPerToR hosts per ToR. The spine layer is organised
+// in AggsPerPod planes of SpinesPerPlane spines; aggregation switch
+// a of every pod connects to every spine of plane a, so each spine
+// has exactly one down port per pod — the regular shape structural
+// routing compresses to O(total ports). Unlike the k-ary fat tree,
+// the four dimensions scale independently, which is what reaches
+// 100k+ hosts without inflating the switch radix cubically.
+type ClosConfig struct {
+	Pods           int
+	AggsPerPod     int // uplink planes per pod
+	SpinesPerPlane int // spines in each plane
+	ToRsPerPod     int
+	HostsPerToR    int
+	HostRate       units.BitRate
+	FabricRate     units.BitRate // ToR-agg and agg-spine links
+	Prop           units.Duration
+}
+
+// DefaultClos returns a small 4-pod Clos (128 hosts) — the smoke and
+// equivalence-test size.
+func DefaultClos() ClosConfig {
+	return ClosConfig{
+		Pods: 4, AggsPerPod: 2, SpinesPerPlane: 2, ToRsPerPod: 4, HostsPerToR: 8,
+		HostRate: 100 * units.Gbps, FabricRate: 400 * units.Gbps,
+		Prop: 600 * units.Nanosecond,
+	}
+}
+
+// Clos100k returns the datacenter-scale preset: 32 pods × 40 ToRs ×
+// 80 hosts = 102,400 hosts and 1,472 switches. The dense route table
+// here would need ~250 TB of slice headers; the structural router
+// needs ~2.5 MB.
+func Clos100k() ClosConfig {
+	return ClosConfig{
+		Pods: 32, AggsPerPod: 4, SpinesPerPlane: 16, ToRsPerPod: 40, HostsPerToR: 80,
+		HostRate: 100 * units.Gbps, FabricRate: 400 * units.Gbps,
+		Prop: 600 * units.Nanosecond,
+	}
+}
+
+// NumHosts returns the host count the config will build.
+func (c ClosConfig) NumHosts() int { return c.Pods * c.ToRsPerPod * c.HostsPerToR }
+
+// Build constructs the multi-pod Clos. Spines are created first
+// (plane-major), then pods in order: each pod's aggs connect up to
+// their plane's spines before any ToR attaches, and each ToR
+// connects up to every agg before its hosts — keeping every switch's
+// up ports a contiguous prefix and every down-port sequence aligned
+// with ascending dense host ranges, the layout structural-routing
+// inference verifies at freeze().
+func (c ClosConfig) Build() *Topology {
+	if c.Pods <= 0 || c.AggsPerPod <= 0 || c.SpinesPerPlane <= 0 || c.ToRsPerPod <= 0 || c.HostsPerToR <= 0 {
+		panic("topo: clos dimensions must be positive")
+	}
+	b := &builder{}
+	spines := make([]packet.NodeID, c.AggsPerPod*c.SpinesPerPlane)
+	for a := 0; a < c.AggsPerPod; a++ {
+		for j := 0; j < c.SpinesPerPlane; j++ {
+			spines[a*c.SpinesPerPlane+j] = b.addNode(SwitchNode, LayerCore, -1, -1, fmt.Sprintf("spine%d.%d", a, j))
+		}
+	}
+	rack := 0
+	for pod := 0; pod < c.Pods; pod++ {
+		aggs := make([]packet.NodeID, c.AggsPerPod)
+		for a := 0; a < c.AggsPerPod; a++ {
+			aggs[a] = b.addNode(SwitchNode, LayerAgg, pod, -1, fmt.Sprintf("agg%d.%d", pod, a))
+			for j := 0; j < c.SpinesPerPlane; j++ {
+				b.connect(aggs[a], spines[a*c.SpinesPerPlane+j], c.FabricRate, c.Prop, ClassAggUp, ClassCore)
+			}
+		}
+		for tr := 0; tr < c.ToRsPerPod; tr++ {
+			tor := b.addNode(SwitchNode, LayerToR, pod, rack, fmt.Sprintf("tor%d.%d", pod, tr))
+			for _, a := range aggs {
+				b.connect(tor, a, c.FabricRate, c.Prop, ClassToRUp, ClassAggDown)
+			}
+			for h := 0; h < c.HostsPerToR; h++ {
+				host := b.addNode(HostNode, LayerHost, pod, rack, fmt.Sprintf("h%d.%d.%d", pod, tr, h))
+				b.connect(tor, host, c.HostRate, c.Prop, ClassToRDown, ClassHost)
+			}
+			rack++
+		}
+	}
+	return b.freeze()
+}
+
 // TestbedConfig mirrors the paper's §5.2 DPDK testbed: one core
 // switch, three ToRs with two hosts each, 10 Gbps host links and
 // 20 Gbps uplinks, base BDP 45 KB (software-switch latency dominates,
@@ -143,9 +245,12 @@ func DefaultTestbed() TestbedConfig {
 	}
 }
 
-// Build constructs the testbed star-of-ToRs topology.
+// Build constructs the testbed star-of-ToRs topology. The testbed
+// mirrors physical hardware rather than a canonical Clos, so it
+// freezes with the dense BFS router — the reference implementation
+// irregular and faulted-asymmetric validation fabrics fall back to.
 func (c TestbedConfig) Build() *Topology {
-	b := &builder{}
+	b := &builder{forceDense: true}
 	core := b.addNode(SwitchNode, LayerCore, -1, -1, "core")
 	for r := 0; r < c.ToRs; r++ {
 		tor := b.addNode(SwitchNode, LayerToR, r, r, fmt.Sprintf("tor%d", r))

@@ -7,6 +7,7 @@ package topo
 
 import (
 	"fmt"
+	"unsafe"
 
 	"floodgate/internal/packet"
 	"floodgate/internal/units"
@@ -101,17 +102,20 @@ type Node struct {
 	Ports []Port
 }
 
-// Topology is an immutable network graph with precomputed multipath
-// routes from every node to every host. Immutability is load-bearing:
-// after Build() nothing writes to nodes, ports or routes (the device
-// layer only takes pointers into them), so one Topology may be shared
-// by concurrent simulation runs (exp.RunMany) without synchronisation.
+// Topology is an immutable network graph with multipath routes from
+// every node to every host, answered by a Router chosen at freeze():
+// structural index arithmetic for regular Clos fabrics (O(total
+// ports) memory), dense BFS tables as the fallback for irregular
+// ones (see router.go). Immutability is load-bearing: after Build()
+// nothing writes to nodes, ports or router state (the device layer
+// only takes pointers into them), so one Topology may be shared by
+// concurrent simulation runs (exp.RunMany) without synchronisation.
 type Topology struct {
 	Nodes []*Node
 	Hosts []packet.NodeID // all host IDs in ID order
 
-	hostIdx []int     // NodeID -> dense host index, -1 for switches
-	routes  [][][]int // [nodeID][hostIdx] -> candidate egress port indices
+	hostIdx []int // NodeID -> dense host index, -1 for switches
+	router  Router
 }
 
 // Node returns the node with the given ID.
@@ -124,9 +128,59 @@ func (t *Topology) HostIndex(id packet.NodeID) int { return t.hostIdx[id] }
 func (t *Topology) NumHosts() int { return len(t.Hosts) }
 
 // NextPorts returns every shortest-path egress port index at node n
-// toward destination host dst. Empty only if n == dst.
+// toward destination host dst, in ascending port order. Empty only
+// if n == dst. Panics with a clear message when dst is not a host —
+// a switch or out-of-range ID here is always a caller bug, and the
+// old unchecked hostIdx lookup surfaced it as a cryptic
+// "index out of range [-1]". The returned slice is shared and
+// immutable; callers must not modify it.
 func (t *Topology) NextPorts(n, dst packet.NodeID) []int {
-	return t.routes[n][t.hostIdx[dst]]
+	return t.router.NextPorts(n, t.mustHostIndex(dst))
+}
+
+// mustHostIndex resolves dst to its dense host index, panicking with
+// an actionable message for switches and out-of-range IDs.
+func (t *Topology) mustHostIndex(dst packet.NodeID) int {
+	if int(dst) < 0 || int(dst) >= len(t.hostIdx) || t.hostIdx[dst] < 0 {
+		panic(fmt.Sprintf("topo: dst %d is not a host", dst))
+	}
+	return t.hostIdx[dst]
+}
+
+// Router exposes the route implementation the topology froze with
+// (the scale gauges and equivalence tests read it; the device layer
+// goes through NextPorts/ECMP).
+func (t *Topology) Router() Router { return t.router }
+
+// RouterKind names the active route implementation: "structural" for
+// the O(total ports) Clos router, "dense" for the BFS fallback.
+func (t *Topology) RouterKind() string { return t.router.Kind() }
+
+// RouteBytes is the resident memory of the active router — the
+// route_bytes scale gauge.
+func (t *Topology) RouteBytes() int64 { return t.router.Bytes() }
+
+// TotalPorts counts directed ports across all nodes (two per link).
+func (t *Topology) TotalPorts() int {
+	total := 0
+	for _, n := range t.Nodes {
+		total += len(n.Ports)
+	}
+	return total
+}
+
+// StructBytes estimates the topology graph's own resident memory —
+// node and port structs plus the host index — excluding the router
+// (RouteBytes). Together they give the deterministic bytes-per-host
+// scale gauge.
+func (t *Topology) StructBytes() int64 {
+	var node Node
+	var port Port
+	b := int64(len(t.Nodes)) * int64(unsafe.Sizeof(&node)+unsafe.Sizeof(node))
+	b += int64(t.TotalPorts()) * int64(unsafe.Sizeof(port))
+	b += int64(len(t.hostIdx)) * int64(unsafe.Sizeof(int(0)))
+	b += int64(len(t.Hosts)) * int64(unsafe.Sizeof(packet.NodeID(0)))
+	return b
 }
 
 // ECMP picks one egress port for a (src, dst) pair among the
@@ -157,13 +211,20 @@ func pairHash(a, b uint64) uint64 {
 
 // SamePod reports whether destination host dst lives under the same
 // pod as switch n (Floodgate's downstream/upstream VOQ grouping).
+// Like NextPorts, it panics with a clear message when dst is not a
+// host.
 func (t *Topology) SamePod(n, dst packet.NodeID) bool {
+	t.mustHostIndex(dst)
 	return t.Nodes[n].Pod >= 0 && t.Nodes[n].Pod == t.Nodes[dst].Pod
 }
 
 // builder assembles nodes and links then freezes them into a Topology.
 type builder struct {
 	nodes []*Node
+	// forceDense skips structural inference at freeze(): set by
+	// builders that model irregular fabrics (the DPDK testbed) where
+	// the dense BFS tables are the validation reference.
+	forceDense bool
 }
 
 func (b *builder) addNode(kind NodeKind, layer Layer, pod, rack int, name string) packet.NodeID {
@@ -184,7 +245,12 @@ func (b *builder) connect(a, bb packet.NodeID, rate units.BitRate, prop units.Du
 	nb.Ports = append(nb.Ports, pb)
 }
 
-// freeze computes routes and returns the immutable topology.
+// freeze indexes the hosts, chooses the router and returns the
+// immutable topology. Structural routing is preferred whenever
+// inference recognises a regular Clos shape (every built-in builder
+// except the testbed, which forces the dense reference); otherwise
+// the dense BFS fallback keeps irregular fabrics routable at the old
+// O(nodes × hosts) cost.
 func (b *builder) freeze() *Topology {
 	t := &Topology{Nodes: b.nodes}
 	t.hostIdx = make([]int, len(b.nodes))
@@ -197,61 +263,12 @@ func (b *builder) freeze() *Topology {
 			t.Hosts = append(t.Hosts, n.ID)
 		}
 	}
-	t.computeRoutes()
+	if !b.forceDense {
+		if r, err := NewStructuralRouter(t); err == nil {
+			t.router = r
+			return t
+		}
+	}
+	t.router = NewDenseRouter(t)
 	return t
-}
-
-// computeRoutes runs one reverse BFS per host, collecting every
-// equal-cost next hop at every node.
-func (t *Topology) computeRoutes() {
-	n := len(t.Nodes)
-	t.routes = make([][][]int, n)
-	for i := range t.routes {
-		t.routes[i] = make([][]int, len(t.Hosts))
-	}
-	dist := make([]int, n)
-	queue := make([]packet.NodeID, 0, n)
-	// Each port appears in at most one next-hop set per host, so one
-	// arena of totalPorts entries per host backs every route slice of
-	// that host — one allocation instead of one per (node, host).
-	totalPorts := 0
-	for _, node := range t.Nodes {
-		totalPorts += len(node.Ports)
-	}
-	for hi, h := range t.Hosts {
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[h] = 0
-		queue = queue[:0]
-		queue = append(queue, h)
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, p := range t.Nodes[cur].Ports {
-				// Traverse the reverse direction: peer can reach cur.
-				peer := p.Peer
-				if dist[peer] == -1 {
-					dist[peer] = dist[cur] + 1
-					queue = append(queue, peer)
-				}
-			}
-		}
-		// A node's next hops toward h are all ports whose peer is one
-		// step closer. Hosts never forward transit traffic: their only
-		// next hop is their ToR uplink, which the BFS yields naturally.
-		arena := make([]int, 0, totalPorts)
-		for _, node := range t.Nodes {
-			if node.ID == h || dist[node.ID] == -1 {
-				continue
-			}
-			lo := len(arena)
-			for i, p := range node.Ports {
-				if d := dist[p.Peer]; d >= 0 && d == dist[node.ID]-1 {
-					arena = append(arena, i)
-				}
-			}
-			t.routes[node.ID][hi] = arena[lo:len(arena):len(arena)]
-		}
-	}
 }
